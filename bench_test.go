@@ -1,0 +1,322 @@
+// Package xixa's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (run the cmd/experiments
+// binary for the full paper-style sweeps with printed rows), plus
+// microbenchmarks of the load-bearing substrate operations.
+//
+//	go test -bench=. -benchmem
+package xixa
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"xixa/internal/core"
+	"xixa/internal/engine"
+	"xixa/internal/experiments"
+	"xixa/internal/optimizer"
+	"xixa/internal/tpox"
+	"xixa/internal/workload"
+	"xixa/internal/xindex"
+	"xixa/internal/xpath"
+	"xixa/internal/xquery"
+)
+
+var (
+	envOnce sync.Once
+	env     *experiments.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env, envErr = experiments.NewEnv(1)
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+func benchAdvisor(b *testing.B, e *experiments.Env) *core.Advisor {
+	b.Helper()
+	w, err := workload.ParseStatements(tpox.Queries())
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv, err := core.New(e.DB, e.Opt, e.Stats, w, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return adv
+}
+
+// BenchmarkTableI measures the Table I pipeline: enumerate + generalize
+// the candidates of the paper's Q1/Q2.
+func BenchmarkTableI(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(io.Discard, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkRecommend runs one search algorithm at half the All-Index
+// budget on the 11-query workload — one Figure 2 data point.
+func benchmarkRecommend(b *testing.B, algo string) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		adv := benchAdvisor(b, e) // fresh advisor: no benefit-cache carryover
+		budget := adv.AllIndexSize() / 2
+		b.StartTimer()
+		if _, err := adv.Recommend(algo, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The Figure 2 / Figure 3 family: per-algorithm advisor runs.
+func BenchmarkFig2Greedy(b *testing.B)      { benchmarkRecommend(b, core.AlgoGreedy) }
+func BenchmarkFig2Heuristic(b *testing.B)   { benchmarkRecommend(b, core.AlgoHeuristic) }
+func BenchmarkFig2TopDownLite(b *testing.B) { benchmarkRecommend(b, core.AlgoTopDownLite) }
+func BenchmarkFig2TopDownFull(b *testing.B) { benchmarkRecommend(b, core.AlgoTopDownFull) }
+func BenchmarkFig2DP(b *testing.B)          { benchmarkRecommend(b, core.AlgoDP) }
+
+// BenchmarkTable3 measures candidate enumeration + generalization on a
+// 30-query random workload (the Table III midpoint).
+func BenchmarkTable3(b *testing.B) {
+	e := benchEnv(b)
+	stmts := tpox.SyntheticQueries(e.DB, 30, 130)
+	w, err := workload.ParseStatements(stmts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(e.DB, e.Opt, e.Stats, w, core.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4 measures one Table IV row: the three algorithms at
+// the 500 MB-equivalent budget on the 20-query workload.
+func BenchmarkTable4(b *testing.B) {
+	e := benchEnv(b)
+	stmts := append(append([]string(nil), tpox.Queries()...), tpox.SyntheticQueries(e.DB, 9, 7)...)
+	w, err := workload.ParseStatements(stmts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		adv, err := core.New(e.DB, e.Opt, e.Stats, w, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		budget := int64(float64(adv.AllIndexSize()) * 500 / 95)
+		b.StartTimer()
+		for _, algo := range []string{core.AlgoTopDownLite, core.AlgoTopDownFull, core.AlgoHeuristic} {
+			if _, err := adv.Recommend(algo, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4 measures one Figure 4 point: train on 10 queries,
+// score the recommendation on the full 20-query workload.
+func BenchmarkFig4(b *testing.B) {
+	e := benchEnv(b)
+	stmts := append(append([]string(nil), tpox.Queries()...), tpox.SyntheticQueries(e.DB, 9, 7)...)
+	full, err := workload.ParseStatements(stmts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	test, err := core.New(e.DB, e.Opt, e.Stats, full, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		train, err := core.New(e.DB, e.Opt, e.Stats, full.Prefix(10), core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := train.Recommend(core.AlgoTopDownLite, train.AllIndexSize()*20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sp := test.SpeedupUnder(rec.Definitions()); sp <= 0 {
+			b.Fatal("non-positive speedup")
+		}
+	}
+}
+
+// BenchmarkFig5 measures one Figure 5 point: materialize the
+// recommended indexes and actually execute the workload.
+func BenchmarkFig5(b *testing.B) {
+	e := benchEnv(b)
+	adv := benchAdvisor(b, e)
+	rec, err := adv.Recommend(core.AlgoTopDownFull, adv.AllIndexSize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := engine.NewCatalog()
+	for _, def := range rec.Definitions() {
+		tbl, err := e.DB.Table(def.Table)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx, err := xindex.Build(tbl, def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cat.Add(idx)
+	}
+	eng := engine.New(e.DB, e.Opt, cat)
+	var items []engine.WorkloadItem
+	for _, it := range adv.W.Items {
+		items = append(items, engine.WorkloadItem{Stmt: it.Stmt, Freq: it.Freq})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunWorkload(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCalls measures the §VI-C efficient benefit
+// evaluation: whole-configuration benefit with caching enabled.
+func BenchmarkAblationCalls(b *testing.B) {
+	e := benchEnv(b)
+	adv := benchAdvisor(b, e)
+	all := adv.AllIndexConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv.Evaluator().ConfigBenefit(all)
+	}
+}
+
+// --- substrate microbenchmarks ---
+
+func BenchmarkXPathEval(b *testing.B) {
+	e := benchEnv(b)
+	tbl, err := e.DB.Table(tpox.TableSecurity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, ok := tbl.Get(0)
+	if !ok {
+		b.Fatal("doc 0 missing")
+	}
+	p := xpath.MustParse(`/Security[Yield>4.5]/SecInfo/*/Sector`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xpath.Eval(doc, p)
+	}
+}
+
+func BenchmarkContainment(b *testing.B) {
+	super := xpath.MustParse("/Security//*")
+	sub := xpath.MustParse("/Security/SecInfo/*/Sector")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !xpath.Contains(super, sub) {
+			b.Fatal("containment broken")
+		}
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	e := benchEnv(b)
+	tbl, err := e.DB.Table(tpox.TableSecurity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	def := xindex.Definition{
+		Table:   tpox.TableSecurity,
+		Pattern: xpath.MustParsePattern("/Security/Symbol"),
+		Type:    xpath.StringVal,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xindex.Build(tbl, def); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexProbe(b *testing.B) {
+	e := benchEnv(b)
+	tbl, err := e.DB.Table(tpox.TableSecurity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := xindex.Build(tbl, xindex.Definition{
+		Table:   tpox.TableSecurity,
+		Pattern: xpath.MustParsePattern("/Security/Symbol"),
+		Type:    xpath.StringVal,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lit := xpath.StringValue(tpox.SymbolOf(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := idx.Scan(xpath.OpEq, lit, func(xindex.Ref) bool { return true })
+		if n != 1 {
+			b.Fatalf("probe hits = %d", n)
+		}
+	}
+}
+
+func BenchmarkOptimizerEnumerate(b *testing.B) {
+	e := benchEnv(b)
+	stmt := xquery.MustParse(tpox.Queries()[tpox.PaperQ2])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Opt.EnumerateIndexes(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizerEvaluate(b *testing.B) {
+	e := benchEnv(b)
+	stmt := xquery.MustParse(tpox.Queries()[tpox.PaperQ2])
+	cfg := []xindex.Definition{
+		{Table: tpox.TableSecurity, Pattern: xpath.MustParsePattern("/Security/Yield"), Type: xpath.NumberVal},
+		{Table: tpox.TableSecurity, Pattern: xpath.MustParsePattern("/Security/SecInfo/*/Sector"), Type: xpath.StringVal},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Opt.EvaluateIndexes(stmt, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatsCollect(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		optimizer.CollectStats(e.DB)
+	}
+}
+
+func BenchmarkGeneralizePair(b *testing.B) {
+	pa := xpath.MustParse("/Security/Symbol")
+	pb := xpath.MustParse("/Security/SecInfo/*/Sector")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.GeneralizePair(pa, pb); len(got) != 1 {
+			b.Fatal("generalization broken")
+		}
+	}
+}

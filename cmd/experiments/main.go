@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's tables and figures
+// (and this repository's ablations) against the Go substrate.
+//
+// Usage:
+//
+//	experiments [-scale N] [-run name[,name...]]
+//
+// Names: table1, fig2, fig3, table3, table4, fig4, fig5,
+// ablation-calls, ablation-beta, updates, xmark, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xixa/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "TPoX data scale factor (1 = 1000 securities, 2000 orders, 500 customers)")
+	run := flag.String("run", "all", "comma-separated experiment names (table1,fig2,fig3,table3,table4,fig4,fig5,ablation-calls,ablation-beta,updates,xmark,all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	out := os.Stdout
+	var env *experiments.Env
+	needEnv := all || want["table1"] || want["fig2"] || want["fig3"] || want["table3"] ||
+		want["table4"] || want["fig4"] || want["fig5"] || want["ablation-calls"] ||
+		want["ablation-beta"] || want["updates"]
+	if needEnv {
+		fmt.Fprintf(out, "Generating TPoX data (scale %d) and collecting statistics...\n\n", *scale)
+		e, err := experiments.NewEnv(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		env = e
+	}
+
+	type step struct {
+		name string
+		run  func() error
+	}
+	steps := []step{
+		{"table1", func() error { _, err := experiments.TableI(out, env); return err }},
+		{"fig2", func() error { _, err := experiments.Fig2(out, env); return err }},
+		{"fig3", func() error { _, err := experiments.Fig3(out, env); return err }},
+		{"table3", func() error { _, err := experiments.Table3(out, env); return err }},
+		{"table4", func() error { _, err := experiments.Table4(out, env); return err }},
+		{"fig4", func() error { _, err := experiments.Fig4(out, env); return err }},
+		{"fig5", func() error {
+			_, err := experiments.Fig5(out, env, []int{1, 3, 5, 8, 10, 12, 15, 18, 20})
+			return err
+		}},
+		{"ablation-calls", func() error { _, err := experiments.AblationCalls(out, env); return err }},
+		{"ablation-beta", func() error { _, err := experiments.AblationBeta(out, env); return err }},
+		{"updates", func() error { _, err := experiments.Updates(out, env); return err }},
+		{"xmark", func() error { _, err := experiments.XMark(out, *scale); return err }},
+	}
+	ran := 0
+	for _, s := range steps {
+		if !selected(s.name) {
+			continue
+		}
+		if err := s.run(); err != nil {
+			fatal(fmt.Errorf("%s: %w", s.name, err))
+		}
+		fmt.Fprintln(out)
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("no experiment matched -run=%s", *run))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

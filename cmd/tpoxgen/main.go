@@ -1,0 +1,71 @@
+// Command tpoxgen writes TPoX-like XML documents to disk, one file per
+// document, for loading with xmladvisor -load or external tools.
+//
+// Usage:
+//
+//	tpoxgen -out dir [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xixa/internal/storage"
+	"xixa/internal/tpox"
+	"xixa/internal/xmltree"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	scale := flag.Int("scale", 1, "scale factor")
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+	db := storage.NewDatabase()
+	if err := tpox.Generate(db, tpox.DefaultConfig(*scale)); err != nil {
+		fatal(err)
+	}
+	total := 0
+	for _, table := range db.TableNames() {
+		dir := filepath.Join(*out, table)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		tbl, err := db.Table(table)
+		if err != nil {
+			fatal(err)
+		}
+		var writeErr error
+		tbl.Scan(func(doc *xmltree.Document) bool {
+			path := filepath.Join(dir, fmt.Sprintf("doc%07d.xml", doc.DocID))
+			f, err := os.Create(path)
+			if err != nil {
+				writeErr = err
+				return false
+			}
+			if err := xmltree.Serialize(doc, f); err != nil {
+				writeErr = err
+				f.Close()
+				return false
+			}
+			if err := f.Close(); err != nil {
+				writeErr = err
+				return false
+			}
+			total++
+			return true
+		})
+		if writeErr != nil {
+			fatal(writeErr)
+		}
+	}
+	fmt.Printf("wrote %d documents under %s\n", total, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpoxgen:", err)
+	os.Exit(1)
+}

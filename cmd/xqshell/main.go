@@ -1,0 +1,150 @@
+// Command xqshell is an interactive shell over a generated TPoX
+// database: type workload statements and see plans, results, and work
+// counters — with or without the advisor's recommended indexes.
+//
+// Usage:
+//
+//	xqshell [-scale N] [-autoindex]
+//
+// With -autoindex, the shell first runs the advisor on the 11-query
+// TPoX workload and materializes the recommended indexes, so EXPLAIN
+// output shows index plans.
+//
+// Shell commands:
+//
+//	<statement>          execute a query/insert/delete/update
+//	explain <statement>  show the plan without executing
+//	indexes              list materialized indexes
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xixa/internal/core"
+	"xixa/internal/engine"
+	"xixa/internal/optimizer"
+	"xixa/internal/tpox"
+	"xixa/internal/workload"
+	"xixa/internal/xindex"
+	"xixa/internal/xmltree"
+	"xixa/internal/xquery"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "TPoX scale factor")
+	autoindex := flag.Bool("autoindex", false, "run the advisor and materialize its recommendation")
+	flag.Parse()
+
+	fmt.Printf("Generating TPoX data (scale %d)...\n", *scale)
+	db, err := tpox.NewDatabase(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	stats := optimizer.CollectStats(db)
+	opt := optimizer.New(db, stats)
+	cat := engine.NewCatalog()
+	eng := engine.New(db, opt, cat)
+
+	if *autoindex {
+		w, err := workload.ParseStatements(tpox.Queries())
+		if err != nil {
+			fatal(err)
+		}
+		adv, err := core.New(db, opt, stats, w, core.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := adv.Recommend(core.AlgoTopDownFull, adv.AllIndexSize())
+		if err != nil {
+			fatal(err)
+		}
+		for _, def := range rec.Definitions() {
+			tbl, err := db.Table(def.Table)
+			if err != nil {
+				continue
+			}
+			idx, err := xindex.Build(tbl, def)
+			if err != nil {
+				fatal(err)
+			}
+			cat.Add(idx)
+			fmt.Printf("created index %s\n", def)
+		}
+	}
+
+	fmt.Println(`Ready. Try:  for $s in SECURITY('SDOC')/Security where $s/Symbol = "SYM00042" return $s`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("xq> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case line == "quit" || line == "exit":
+			return
+		case line == "indexes":
+			for _, def := range cat.Definitions() {
+				idx, _ := cat.Get(def)
+				fmt.Printf("  %s  (%d entries, %d levels, %d bytes)\n",
+					def, idx.Entries(), idx.Levels(), idx.SizeBytes())
+			}
+			continue
+		case strings.HasPrefix(line, "explain "):
+			stmt, err := xquery.Parse(strings.TrimPrefix(line, "explain "))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			plan, err := opt.EvaluateIndexes(stmt, cat.Definitions())
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  %s (base cost %.0f)\n", plan, plan.EstBaseCost)
+			continue
+		}
+		stmt, err := xquery.Parse(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		refs, st, err := eng.Execute(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		for i, r := range refs {
+			if i >= 5 {
+				fmt.Printf("  ... (%d more)\n", len(refs)-5)
+				break
+			}
+			tbl, err := db.Table(stmt.Table)
+			if err != nil {
+				continue
+			}
+			if doc, ok := tbl.Get(r.Doc); ok {
+				text := xmltree.SerializeString(doc)
+				if len(text) > 120 {
+					text = text[:120] + "..."
+				}
+				fmt.Printf("  %s\n", text)
+			}
+		}
+		fmt.Printf("  %d results, %v, %d nodes scanned, %d index entries, %d docs fetched\n",
+			len(refs), st.Elapsed, st.NodesScanned, st.IndexEntriesRead, st.DocsFetched)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xqshell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+// Package xixa is a from-scratch Go reproduction of "XML Index
+// Recommendation with Tight Optimizer Coupling" (Elghandour et al.,
+// ICDE 2008): an XML Index Advisor that recommends partial path-value
+// indexes for an XML database and workload, using the query optimizer
+// itself both to enumerate candidate index patterns (Enumerate Indexes
+// mode, via a //* virtual universal index) and to estimate
+// configuration benefits (Evaluate Indexes mode, via virtual indexes).
+//
+// The repository root holds only documentation and the benchmark
+// harness (bench_test.go, one testing.B benchmark per paper table and
+// figure). The implementation lives under internal/:
+//
+//   - internal/core — the advisor: candidate generalization
+//     (Algorithm 1), the five configuration search algorithms, and the
+//     efficient benefit evaluation of §VI-C.
+//   - internal/optimizer — the cost-based optimizer with both EXPLAIN
+//     modes, index matching, and index ANDing.
+//   - internal/xpath, xquery — the linear-XPath and FLWOR/SQL-XML/DML
+//     statement dialects, including pattern containment.
+//   - internal/xmltree, storage, btree, xindex, xstats, engine,
+//     persist — the database substrate.
+//   - internal/tpox, xmark — benchmark data and workload generators.
+//   - internal/experiments — regenerates every table and figure of the
+//     paper's evaluation.
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-vs-measured comparison.
+package xixa

@@ -1,0 +1,113 @@
+// Autonomous tuning: an online loop in the spirit of the paper's
+// related work [19] (Hammerschmidt et al.), built from this library's
+// pieces — the engine's workload recorder captures live statements, and
+// the advisor periodically re-tunes, materializing newly recommended
+// indexes and dropping ones that fell out of the recommendation. The
+// workload shifts halfway through; watch the configuration follow it.
+//
+//	go run ./examples/autonomous
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xixa/internal/core"
+	"xixa/internal/engine"
+	"xixa/internal/optimizer"
+	"xixa/internal/tpox"
+	"xixa/internal/xindex"
+	"xixa/internal/xquery"
+)
+
+func main() {
+	fmt.Println("Generating TPoX database (scale 1)...")
+	db, err := tpox.NewDatabase(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := optimizer.CollectStats(db)
+	opt := optimizer.New(db, stats)
+	cat := engine.NewCatalog()
+	eng := engine.New(db, opt, cat)
+
+	// Two workload phases: symbol lookups first, then sector/yield
+	// screens.
+	phase1 := []string{
+		`for $s in SECURITY('SDOC')/Security where $s/Symbol = "SYM00042" return $s`,
+		`for $s in SECURITY('SDOC')/Security where $s/Symbol = "SYM00777" return $s`,
+	}
+	phase2 := []string{
+		`for $s in SECURITY('SDOC')/Security[Yield>7.5] where $s/SecInfo/*/Sector = "Energy" return $s`,
+		`for $s in SECURITY('SDOC')/Security where $s//Industry = "Software" return $s`,
+	}
+
+	retune := func(rec *engine.Recorder, budgetFactor int64) {
+		w := rec.Workload()
+		if w.Len() == 0 {
+			return
+		}
+		adv, err := core.New(db, opt, stats, w, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		recm, err := adv.Recommend(core.AlgoTopDownFull, adv.AllIndexSize()*budgetFactor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := make(map[string]xindex.Definition)
+		for _, def := range recm.Definitions() {
+			want[def.Key()] = def
+		}
+		// Drop indexes that are no longer recommended.
+		for _, def := range cat.Definitions() {
+			if _, ok := want[def.Key()]; !ok {
+				cat.Drop(def)
+				fmt.Printf("    DROP   %s\n", def)
+			} else {
+				delete(want, def.Key())
+			}
+		}
+		// Materialize the new ones.
+		for _, def := range want {
+			tbl, err := db.Table(def.Table)
+			if err != nil {
+				continue
+			}
+			idx, err := xindex.Build(tbl, def)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cat.Add(idx)
+			fmt.Printf("    CREATE %s\n", def)
+		}
+	}
+
+	runPhase := func(name string, queries []string, rounds int) {
+		rec := engine.NewRecorder()
+		eng.SetRecorder(rec)
+		var work float64
+		for r := 0; r < rounds; r++ {
+			for _, q := range queries {
+				_, st, err := eng.Execute(xquery.MustParse(q))
+				if err != nil {
+					log.Fatal(err)
+				}
+				work += st.WorkUnits()
+			}
+			if r == rounds/2 {
+				fmt.Printf("  [%s] mid-phase retune after observing %d statements:\n", name, rec.Len())
+				retune(rec, 1)
+			}
+		}
+		fmt.Printf("  [%s] total work: %.0f units, %d indexes in catalog\n\n",
+			name, work, len(cat.Definitions()))
+	}
+
+	fmt.Println("\nPhase 1: symbol point lookups")
+	runPhase("phase1", phase1, 6)
+	fmt.Println("Phase 2: workload shifts to sector/yield screens")
+	runPhase("phase2", phase2, 6)
+	fmt.Println("The catalog followed the workload: symbol indexes were dropped")
+	fmt.Println("once the recorder stopped seeing symbol lookups.")
+}

@@ -1,0 +1,47 @@
+// Generalization walk-through: the paper's Algorithm 1 on its own
+// examples, step by step — run this to see how C1 and C2 become C4 and
+// how Rule 4 handles recurring nodes.
+//
+//	go run ./examples/generalization
+package main
+
+import (
+	"fmt"
+
+	"xixa/internal/core"
+	"xixa/internal/xpath"
+)
+
+func show(a, b string) {
+	pa, pb := xpath.MustParse(a), xpath.MustParse(b)
+	fmt.Printf("generalize(%s, %s)\n", a, b)
+	results := core.GeneralizePair(pa, pb)
+	if len(results) == 0 {
+		fmt.Println("  -> (incompatible: no generalization)")
+		return
+	}
+	for _, g := range results {
+		fmt.Printf("  -> %-24s covers both: %v\n", g.String(),
+			xpath.Contains(g, pa) && xpath.Contains(g, pb))
+	}
+}
+
+func main() {
+	fmt.Println("Paper §V, Table I: C1 + C2 -> C4")
+	show("/Security/Symbol", "/Security/SecInfo/*/Sector")
+
+	fmt.Println("\nPaper §V, Rule 4 (node reoccurrence):")
+	show("/a/b/d", "/a/d/b/d")
+
+	fmt.Println("\nAxis generalization (// wins):")
+	show("/a//b", "/a/b")
+
+	fmt.Println("\nRule 0 rewrite (middle wildcards fold into //):")
+	show("/a/c", "/b/c")
+
+	fmt.Println("\nType/namespace compatibility (element vs attribute targets):")
+	show("/a/b", "/a/@id")
+
+	fmt.Println("\nDifferent lengths (skipped steps become a descendant hop):")
+	show("/Order/CustID", "/Order/Detail/Item/CustID")
+}

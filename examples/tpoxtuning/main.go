@@ -1,0 +1,67 @@
+// TPoX tuning session: generate the benchmark database, sweep disk
+// budgets across all five search algorithms, and print the Figure 2
+// style speedup table — the paper's headline experiment as a program.
+//
+//	go run ./examples/tpoxtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xixa/internal/core"
+	"xixa/internal/optimizer"
+	"xixa/internal/tpox"
+	"xixa/internal/workload"
+)
+
+func main() {
+	fmt.Println("Generating TPoX database (scale 1)...")
+	db, err := tpox.NewDatabase(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := optimizer.CollectStats(db)
+	opt := optimizer.New(db, stats)
+
+	w, err := workload.ParseStatements(tpox.Queries())
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv, err := core.New(db, opt, stats, w, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	allSize := adv.AllIndexSize()
+	allSpeedup := adv.EstimatedSpeedup(adv.AllIndexConfig())
+	fmt.Printf("Workload: the 11 TPoX queries; All-Index = %d bytes, speedup %.1fx\n\n",
+		allSize, allSpeedup)
+
+	fmt.Printf("%-10s", "budget")
+	for _, algo := range core.Algorithms() {
+		fmt.Printf(" %13s", algo)
+	}
+	fmt.Println()
+	for _, frac := range []float64{0.1, 0.25, 0.5, 1.0, 2.0} {
+		budget := int64(frac * float64(allSize))
+		fmt.Printf("%8.2fx ", frac)
+		for _, algo := range core.Algorithms() {
+			rec, err := adv.Recommend(algo, budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %12.1fx", adv.EstimatedSpeedup(rec.Config))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nBest configuration at budget = All-Index size (top-down full):")
+	rec, err := adv.Recommend(core.AlgoTopDownFull, allSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range rec.Config {
+		fmt.Printf("  %s\n", c)
+	}
+	fmt.Printf("(%d optimizer calls, %s advisor time)\n", rec.OptimizerCalls, rec.Elapsed)
+}

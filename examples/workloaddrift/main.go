@@ -1,0 +1,61 @@
+// Workload drift: train the advisor on a fraction of the workload and
+// score the recommendation on the full workload — the paper's Figure 4
+// story. Top-down search generalizes to the unseen queries; greedy with
+// heuristics over-fits the training set.
+//
+//	go run ./examples/workloaddrift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xixa/internal/core"
+	"xixa/internal/optimizer"
+	"xixa/internal/tpox"
+	"xixa/internal/workload"
+)
+
+func main() {
+	fmt.Println("Generating TPoX database (scale 1)...")
+	db, err := tpox.NewDatabase(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := optimizer.CollectStats(db)
+	opt := optimizer.New(db, stats)
+
+	// The 20-query workload: 11 TPoX queries + 9 synthetic for
+	// diversity, exactly as §VII-C.
+	stmts := append(append([]string(nil), tpox.Queries()...),
+		tpox.SyntheticQueries(db, 9, 7)...)
+	full, err := workload.ParseStatements(stmts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := core.New(db, opt, stats, full, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := test.AllIndexSize() * 20 // the paper's ample 2 GB point
+
+	fmt.Printf("%6s %16s %16s\n", "train", "topdown-lite", "heuristic")
+	for _, n := range []int{2, 5, 8, 11, 14, 17, 20} {
+		train, err := core.New(db, opt, stats, full.Prefix(n), core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%6d", n)
+		for _, algo := range []string{core.AlgoTopDownLite, core.AlgoHeuristic} {
+			rec, err := train.Recommend(algo, budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Score on the FULL workload, not the training prefix.
+			line += fmt.Sprintf(" %15.1fx", test.SpeedupUnder(rec.Definitions()))
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\nTop-down holds up under drift because it spends spare budget on")
+	fmt.Println("general indexes (e.g. /Security//*) that cover unseen path patterns.")
+}

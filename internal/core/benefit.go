@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"xixa/internal/xindex"
+	"xixa/internal/xquery"
+)
+
+// Evaluator implements the efficient benefit evaluation of §VI-C:
+//
+//   - Affected sets: to evaluate a configuration, the optimizer is only
+//     called for the union of the affected sets of its indexes — the
+//     statements that can possibly change plan.
+//   - Sub-configurations: the configuration is split into groups of
+//     indexes with overlapping affected sets (indexes in different
+//     groups cannot interact); each group is evaluated independently
+//     and cached, so re-evaluations during search hit the cache.
+//
+// Benefit(x1..xn; W) = Σ_s freq_s·(s_old − s_new) − Σ_s Σ_i mc(x_i, s),
+// the paper's §III formula. (We scale mc by freq_s as well: mc is a
+// per-execution cost, and a statement occurring freq times performs
+// maintenance freq times.)
+type Evaluator struct {
+	a *Advisor
+	// baseCost[i] is the no-index cost of statement i times its
+	// frequency.
+	baseCost []float64
+	// subCache maps a sub-configuration key to its query benefit.
+	subCache map[string]float64
+	// CacheHits counts sub-configuration cache hits (ablation metric).
+	CacheHits int64
+}
+
+func newEvaluator(a *Advisor) *Evaluator {
+	e := &Evaluator{a: a, subCache: make(map[string]float64)}
+	e.baseCost = make([]float64, a.W.Len())
+	for i, item := range a.W.Items {
+		plan, err := a.Opt.EvaluateIndexes(item.Stmt, nil)
+		if err != nil {
+			// Statements over unknown tables cost nothing and gain
+			// nothing; they simply never contribute benefit.
+			continue
+		}
+		e.baseCost[i] = float64(item.Freq) * plan.EstCost
+	}
+	return e
+}
+
+// BaselineCost is the total workload cost with no indexes.
+func (e *Evaluator) BaselineCost() float64 {
+	total := 0.0
+	for _, c := range e.baseCost {
+		total += c
+	}
+	return total
+}
+
+// ConfigBenefit returns the benefit of a configuration over the empty
+// configuration, per the §III formula (query gains minus maintenance).
+func (e *Evaluator) ConfigBenefit(cfg []*Candidate) float64 {
+	if len(cfg) == 0 {
+		return 0
+	}
+	return e.queryBenefit(cfg) - e.maintenanceCost(cfg)
+}
+
+// WorkloadCost is the frequency-weighted workload cost under cfg,
+// including maintenance: baseline − benefit.
+func (e *Evaluator) WorkloadCost(cfg []*Candidate) float64 {
+	return e.BaselineCost() - e.ConfigBenefit(cfg)
+}
+
+// StandaloneBenefit returns (and caches) the benefit of the candidate
+// alone, used by plain greedy, top-down lite, and DP — the searches
+// that ignore index interaction.
+func (e *Evaluator) StandaloneBenefit(c *Candidate) float64 {
+	if c.standaloneSet {
+		return c.standalone
+	}
+	c.standalone = e.ConfigBenefit([]*Candidate{c})
+	c.standaloneSet = true
+	return c.standalone
+}
+
+// queryBenefit computes Σ freq·(s_old − s_new) using the affected-set
+// and sub-configuration machinery.
+func (e *Evaluator) queryBenefit(cfg []*Candidate) float64 {
+	if e.a.Opts.DisableAffectedSets {
+		return e.evaluateGroupAllStatements(cfg)
+	}
+	total := 0.0
+	for _, group := range splitSubConfigs(cfg) {
+		total += e.evaluateGroup(group)
+	}
+	return total
+}
+
+// splitSubConfigs groups candidates whose affected sets overlap
+// (transitively): indexes in different groups cannot appear in the same
+// statement's plan, so their benefits are independent (§VI-C).
+func splitSubConfigs(cfg []*Candidate) [][]*Candidate {
+	n := len(cfg)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(i, j int) { parent[find(i)] = find(j) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cfg[i].Affected.Intersects(cfg[j].Affected) {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]*Candidate)
+	for i, c := range cfg {
+		r := find(i)
+		groups[r] = append(groups[r], c)
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][]*Candidate, 0, len(groups))
+	for _, k := range keys {
+		g := groups[k]
+		sort.Slice(g, func(i, j int) bool { return g[i].ID < g[j].ID })
+		out = append(out, g)
+	}
+	return out
+}
+
+// groupKey canonically identifies a sub-configuration.
+func groupKey(group []*Candidate) string {
+	ids := make([]string, len(group))
+	for i, c := range group {
+		ids[i] = strconv.Itoa(c.ID)
+	}
+	return strings.Join(ids, ",")
+}
+
+// evaluateGroup computes the query benefit of one sub-configuration,
+// calling the optimizer only for the union of the group's affected
+// statements, with caching.
+func (e *Evaluator) evaluateGroup(group []*Candidate) float64 {
+	key := groupKey(group)
+	if !e.a.Opts.DisableSubConfigCache {
+		if b, ok := e.subCache[key]; ok {
+			e.CacheHits++
+			return b
+		}
+	}
+	affected := NewBitSet(e.a.W.Len())
+	for _, c := range group {
+		affected.Or(c.Affected)
+	}
+	defs := make([]xindex.Definition, len(group))
+	for i, c := range group {
+		defs[i] = c.Def
+	}
+	benefit := 0.0
+	for _, ord := range affected.Elements() {
+		item := e.a.W.Items[ord]
+		plan, err := e.a.Opt.EvaluateIndexes(item.Stmt, defs)
+		if err != nil {
+			continue
+		}
+		benefit += e.baseCost[ord] - float64(item.Freq)*plan.EstCost
+	}
+	if !e.a.Opts.DisableSubConfigCache {
+		e.subCache[key] = benefit
+	}
+	return benefit
+}
+
+// evaluateGroupAllStatements is the naive evaluation used when affected
+// sets are disabled (ablation): every statement is re-optimized.
+func (e *Evaluator) evaluateGroupAllStatements(cfg []*Candidate) float64 {
+	defs := make([]xindex.Definition, len(cfg))
+	for i, c := range cfg {
+		defs[i] = c.Def
+	}
+	benefit := 0.0
+	for ord, item := range e.a.W.Items {
+		plan, err := e.a.Opt.EvaluateIndexes(item.Stmt, defs)
+		if err != nil {
+			continue
+		}
+		benefit += e.baseCost[ord] - float64(item.Freq)*plan.EstCost
+	}
+	return benefit
+}
+
+// maintenanceCost sums mc over the workload's data-modifying statements
+// for every index in the configuration. This needs no optimizer plan
+// search, only the analytic mc model.
+func (e *Evaluator) maintenanceCost(cfg []*Candidate) float64 {
+	total := 0.0
+	for _, item := range e.a.W.Items {
+		if item.Stmt.Kind == xquery.Query {
+			continue
+		}
+		for _, c := range cfg {
+			total += float64(item.Freq) * e.a.Opt.MaintenanceCost(c.Def, item.Stmt)
+		}
+	}
+	return total
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"xixa/internal/workload"
+	"xixa/internal/xquery"
+)
+
+func TestEvaluatorBaselineAndBenefit(t *testing.T) {
+	a := newFixture(t, 300, aq1, aq2)
+	e := a.Evaluator()
+	base := e.BaselineCost()
+	if base <= 0 {
+		t.Fatalf("baseline = %v", base)
+	}
+	if got := e.ConfigBenefit(nil); got != 0 {
+		t.Errorf("empty config benefit = %v", got)
+	}
+	all := a.AllIndexConfig()
+	b := e.ConfigBenefit(all)
+	if b <= 0 {
+		t.Errorf("All-Index benefit = %v, want > 0", b)
+	}
+	if cost := e.WorkloadCost(all); cost != base-b {
+		t.Errorf("WorkloadCost = %v, want %v", cost, base-b)
+	}
+}
+
+func TestEvaluatorStandaloneCached(t *testing.T) {
+	a := newFixture(t, 200, aq1, aq2)
+	e := a.Evaluator()
+	c := a.Candidates.Basic()[0]
+	first := e.StandaloneBenefit(c)
+	calls := a.Opt.EvaluateCalls()
+	for i := 0; i < 5; i++ {
+		if e.StandaloneBenefit(c) != first {
+			t.Fatal("standalone benefit unstable")
+		}
+	}
+	if a.Opt.EvaluateCalls() != calls {
+		t.Error("standalone benefit not cached")
+	}
+}
+
+func TestSubConfigDecomposition(t *testing.T) {
+	// Q1 only touches Symbol; the Industry query only touches Industry.
+	// Their candidates have disjoint affected sets, so a configuration
+	// holding both splits into two sub-configurations.
+	a := newFixture(t, 200, aq1,
+		`for $s in SECURITY('SDOC')/Security where $s/SecInfo/*/Industry = "Ind7" return $s`)
+	basic := a.Candidates.Basic()
+	if len(basic) != 2 {
+		t.Fatalf("basic = %v", candidateStrings(basic))
+	}
+	groups := splitSubConfigs(basic)
+	if len(groups) != 2 {
+		t.Errorf("sub-configs = %d, want 2 (disjoint affected sets)", len(groups))
+	}
+
+	// Q2's two candidates come from the same statement: one group.
+	b := newFixture(t, 200, aq2)
+	groups2 := splitSubConfigs(b.Candidates.Basic())
+	if len(groups2) != 1 {
+		t.Errorf("Q2 sub-configs = %d, want 1 (overlapping affected sets)", len(groups2))
+	}
+}
+
+func TestSubConfigCacheReducesOptimizerCalls(t *testing.T) {
+	// The §VI-C machinery: repeated evaluation of overlapping
+	// configurations must hit the cache instead of calling the
+	// optimizer. This is the paper's "technique to reduce the number of
+	// calls to the optimizer".
+	mk := func(opts Options) (int64, int64) {
+		a := newFixture(t, 200, aq1, aq2)
+		a.Opts = opts
+		a.eval = newEvaluator(a)
+		a.Opt.ResetCallCounters()
+		all := a.AllIndexConfig()
+		for i := 0; i < 10; i++ {
+			a.eval.ConfigBenefit(all)
+		}
+		return a.Opt.EvaluateCalls(), a.eval.CacheHits
+	}
+	cachedCalls, hits := mk(DefaultOptions())
+	uncachedCalls, _ := mk(Options{Beta: 0.10, DisableSubConfigCache: true})
+	if cachedCalls >= uncachedCalls {
+		t.Errorf("cache did not reduce calls: %d cached vs %d uncached", cachedCalls, uncachedCalls)
+	}
+	if hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+}
+
+func TestAffectedSetsReduceOptimizerCalls(t *testing.T) {
+	// Evaluating a single-statement candidate must only re-optimize that
+	// statement, not the whole workload.
+	stmts := []string{
+		aq1, aq2,
+		`for $s in SECURITY('SDOC')/Security where $s/SecInfo/*/Industry = "Ind7" return $s`,
+		`SECURITY('SDOC')/Security[Yield<2.5]`,
+	}
+	with := newFixture(t, 200, stmts...)
+	with.Opt.ResetCallCounters()
+	with.eval.ConfigBenefit([]*Candidate{with.Candidates.Basic()[0]})
+	withCalls := with.Opt.EvaluateCalls()
+
+	without := newFixture(t, 200, stmts...)
+	without.Opts.DisableAffectedSets = true
+	without.Opt.ResetCallCounters()
+	without.eval.ConfigBenefit([]*Candidate{without.Candidates.Basic()[0]})
+	withoutCalls := without.Opt.EvaluateCalls()
+
+	if withCalls >= withoutCalls {
+		t.Errorf("affected sets did not reduce calls: %d vs %d", withCalls, withoutCalls)
+	}
+	if withCalls != 1 {
+		t.Errorf("single-statement candidate evaluation made %d calls, want 1", withCalls)
+	}
+}
+
+func TestBenefitConsistencyAcrossDecomposition(t *testing.T) {
+	// Decomposed evaluation must equal whole-workload evaluation.
+	stmts := []string{
+		aq1, aq2,
+		`for $s in SECURITY('SDOC')/Security where $s/SecInfo/*/Industry = "Ind7" return $s`,
+	}
+	a := newFixture(t, 200, stmts...)
+	cfg := a.AllIndexConfig()
+	decomposed := a.eval.ConfigBenefit(cfg)
+
+	b := newFixture(t, 200, stmts...)
+	b.Opts.DisableAffectedSets = true
+	naive := b.eval.ConfigBenefit(b.AllIndexConfig())
+	diff := decomposed - naive
+	if diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("decomposed benefit %v != naive %v", decomposed, naive)
+	}
+}
+
+func TestFrequencyScalesBenefit(t *testing.T) {
+	a1 := newFixture(t, 200, aq1)
+	w := workload.New()
+	w.Add(xquery.MustParse(aq1), 10)
+	a10, err := New(a1.DB, a1.Opt, a1.Stats, w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := a1.eval.ConfigBenefit(a1.AllIndexConfig())
+	b10 := a10.eval.ConfigBenefit(a10.AllIndexConfig())
+	ratio := b10 / b1
+	if ratio < 9.99 || ratio > 10.01 {
+		t.Errorf("freq-10 benefit ratio = %v, want 10", ratio)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+
+	"xixa/internal/xpath"
+)
+
+// This file implements the paper's candidate generalization algorithm
+// (§V): Algorithm 1 (generalizeStep) and the advanceStep rules of
+// Table II, including the Rule 0 rewrite and the node-reoccurrence
+// handling of Rule 4.
+//
+// GeneralizePair(/Security/Symbol, /Security/SecInfo/*/Sector) yields
+// /Security//*  — candidate C4 of the paper's Table I.
+// GeneralizePair(/a/b/d, /a/d/b/d) yields /a//d and /a//b/d — the
+// paper's Rule 4 example.
+
+// genAxis returns descendant if at least one input is descendant,
+// child otherwise (paper §V).
+func genAxis(a, b xpath.Axis) xpath.Axis {
+	if a == xpath.Descendant || b == xpath.Descendant {
+		return xpath.Descendant
+	}
+	return xpath.Child
+}
+
+// wildcardFor returns the wildcard test matching the kind of a name
+// test ("*" for elements, "@*" for attributes).
+func wildcardFor(test string) string {
+	if len(test) > 0 && test[0] == '@' {
+		return "@*"
+	}
+	return "*"
+}
+
+// compatibleTests reports whether two name tests can be generalized
+// together: attributes only generalize with attributes (an index on
+// elements cannot cover attribute nodes and vice versa).
+func compatibleTests(a, b string) bool {
+	aAttr := len(a) > 0 && a[0] == '@'
+	bAttr := len(b) > 0 && b[0] == '@'
+	return aAttr == bAttr
+}
+
+// GeneralizePair runs the pair generalization of §V on two linear
+// absolute patterns and returns the distinct generalized patterns
+// (after the Rule 0 rewrite). The result may be empty when the last
+// steps are incompatible (element vs attribute targets).
+func GeneralizePair(a, b xpath.Path) []xpath.Path {
+	pa := a.StripPreds()
+	pb := b.StripPreds()
+	if pa.Relative || pb.Relative || len(pa.Steps) == 0 || len(pb.Steps) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []xpath.Path
+	for _, g := range generalizeStep(nil, pa.Steps, pb.Steps) {
+		rewritten := xpath.RewriteMiddleWildcards(xpath.Path{Steps: g})
+		key := rewritten.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, rewritten)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// generalizeStep is Algorithm 1: generalize the heads of pi and pj into
+// a new node appended to gen, then advance per Table II. pi and pj are
+// the remaining steps of each expression (the "pointers" of the paper).
+func generalizeStep(gen []xpath.Step, pi, pj []xpath.Step) [][]xpath.Step {
+	isLastI := len(pi) == 1
+	isLastJ := len(pj) == 1
+	if isLastI != isLastJ {
+		// Lines 1-3: a last step can only generalize with another last
+		// step; let advanceStep align the pointers first.
+		return advanceStep(gen, pi, pj)
+	}
+	head := xpath.Step{Axis: genAxis(pi[0].Axis, pj[0].Axis)}
+	if !compatibleTests(pi[0].Test, pj[0].Test) {
+		if isLastI && isLastJ {
+			// Incompatible targets (element vs attribute): no
+			// generalized index can cover both.
+			return nil
+		}
+		head.Test = "*" // middle steps: element wildcard placeholder
+	} else if pi[0].Test == pj[0].Test {
+		head.Test = pi[0].Test
+	} else {
+		head.Test = wildcardFor(pi[0].Test)
+	}
+	gen2 := appendStep(gen, head)
+	return advanceStep(gen2, pi, pj)
+}
+
+// advanceStep implements Table II.
+func advanceStep(gen []xpath.Step, pi, pj []xpath.Step) [][]xpath.Step {
+	isLastI := len(pi) == 1
+	isLastJ := len(pj) == 1
+	switch {
+	case isLastI && isLastJ:
+		// Rule 1: both expressions fully consumed (their generalized
+		// last node has been appended by the caller).
+		return [][]xpath.Step{gen}
+	case isLastI && !isLastJ:
+		// Rule 2: skip pj's middle steps down to its last step,
+		// recording the skipped run as a /* placeholder.
+		gen2 := appendStep(gen, xpath.Step{Axis: xpath.Child, Test: "*"})
+		return generalizeStep(gen2, pi, pj[len(pj)-1:])
+	case !isLastI && isLastJ:
+		// Rule 3: symmetric to Rule 2.
+		gen2 := appendStep(gen, xpath.Step{Axis: xpath.Child, Test: "*"})
+		return generalizeStep(gen2, pi[len(pi)-1:], pj)
+	default:
+		// Rule 4: both in the middle. Three alternatives: advance both,
+		// or search for the reoccurrence of one expression's next node
+		// in the other and align there.
+		var out [][]xpath.Step
+		out = append(out, generalizeStep(gen, pi[1:], pj[1:])...)
+		// Occurrence of pj's next node within pi's remainder.
+		if k := findStep(pi[1:], pj[1].Test); k > 0 {
+			gen2 := appendStep(gen, xpath.Step{Axis: xpath.Child, Test: "*"})
+			out = append(out, generalizeStep(gen2, pi[1+k:], pj[1:])...)
+		}
+		// Occurrence of pi's next node within pj's remainder.
+		if k := findStep(pj[1:], pi[1].Test); k > 0 {
+			gen2 := appendStep(gen, xpath.Step{Axis: xpath.Child, Test: "*"})
+			out = append(out, generalizeStep(gen2, pi[1:], pj[1+k:])...)
+		}
+		return out
+	}
+}
+
+// findStep returns the index of the first step in steps whose name test
+// equals test, or -1. Index 0 means no steps would be skipped, which
+// advanceStep treats as already covered by the advance-both branch.
+func findStep(steps []xpath.Step, test string) int {
+	for i, s := range steps {
+		if s.Test == test {
+			return i
+		}
+	}
+	return -1
+}
+
+// appendStep copies gen and appends s (the recursion shares prefixes,
+// so in-place append would corrupt sibling branches).
+func appendStep(gen []xpath.Step, s xpath.Step) []xpath.Step {
+	out := make([]xpath.Step, len(gen)+1)
+	copy(out, gen)
+	out[len(gen)] = s
+	return out
+}

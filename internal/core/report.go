@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xixa/internal/xquery"
+)
+
+// WriteReport renders a human-readable advisor report for a
+// recommendation: the workload summary, the candidate space, the DAG,
+// and the chosen configuration with per-index details. This is the
+// client-side report a DBA would read (the paper's Figure 1 "Index
+// Advisor application" output).
+func (a *Advisor) WriteReport(w io.Writer, rec *Recommendation) error {
+	fmt.Fprintf(w, "XML Index Advisor report\n")
+	fmt.Fprintf(w, "========================\n\n")
+	fmt.Fprintf(w, "Workload: %d unique statements\n", a.W.Len())
+	queries, dml := 0, 0
+	for _, it := range a.W.Items {
+		if it.Stmt.Kind == xquery.Query {
+			queries++
+		} else {
+			dml++
+		}
+	}
+	fmt.Fprintf(w, "  %d queries, %d data-modifying statements\n\n", queries, dml)
+
+	fmt.Fprintf(w, "Candidate space: %d basic + %d generalized = %d\n",
+		len(a.Candidates.Basic()), len(a.Candidates.Generalized()), len(a.Candidates.All))
+	for _, c := range a.Candidates.All {
+		mark := " "
+		for _, chosen := range rec.Config {
+			if chosen == c {
+				mark = "*"
+			}
+		}
+		fmt.Fprintf(w, "  %s %-3d %s  affects %d stmt(s), standalone benefit %.0f\n",
+			mark, c.ID, c, c.Affected.Count(), a.eval.StandaloneBenefit(c))
+	}
+
+	fmt.Fprintf(w, "\nRecommendation (%s, budget %d bytes):\n", rec.Algorithm, rec.Budget)
+	if len(rec.Config) == 0 {
+		fmt.Fprintf(w, "  (no indexes pay off under this workload and budget)\n")
+	}
+	for _, c := range rec.Config {
+		fmt.Fprintf(w, "  %s\n", c)
+	}
+	fmt.Fprintf(w, "\nTotals: %d indexes (%d general, %d specific), %d of %d bytes used\n",
+		len(rec.Config), rec.GeneralCount(), rec.SpecificCount(), rec.TotalSize, rec.Budget)
+	fmt.Fprintf(w, "Estimated benefit %.0f timerons, workload speedup %.1fx\n",
+		rec.Benefit, a.EstimatedSpeedup(rec.Config))
+	fmt.Fprintf(w, "Search used %d optimizer calls in %s\n", rec.OptimizerCalls, rec.Elapsed)
+	return nil
+}
+
+// WriteDOT renders the candidate DAG in Graphviz DOT format: general
+// candidates point to the candidates they cover (the structure the
+// top-down search descends, §VI-B). Nodes selected by rec (if non-nil)
+// are highlighted.
+func (a *Advisor) WriteDOT(w io.Writer, rec *Recommendation) error {
+	chosen := make(map[int]bool)
+	if rec != nil {
+		for _, c := range rec.Config {
+			chosen[c.ID] = true
+		}
+	}
+	fmt.Fprintf(w, "digraph candidates {\n")
+	fmt.Fprintf(w, "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, c := range a.Candidates.All {
+		label := fmt.Sprintf("%s\\n%s, %d B", escapeDOT(c.Def.Pattern.String()), c.Def.Type, c.SizeBytes)
+		attrs := []string{fmt.Sprintf("label=\"%s\"", label)}
+		if c.General {
+			attrs = append(attrs, "style=dashed")
+		}
+		if chosen[c.ID] {
+			attrs = append(attrs, "color=blue", "penwidth=2")
+		}
+		fmt.Fprintf(w, "  c%d [%s];\n", c.ID, strings.Join(attrs, ", "))
+	}
+	for _, c := range a.Candidates.All {
+		children := append([]*Candidate(nil), c.Children...)
+		sort.Slice(children, func(i, j int) bool { return children[i].ID < children[j].ID })
+		for _, ch := range children {
+			fmt.Fprintf(w, "  c%d -> c%d;\n", c.ID, ch.ID)
+		}
+	}
+	fmt.Fprintf(w, "}\n")
+	return nil
+}
+
+func escapeDOT(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

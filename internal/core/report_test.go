@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	a := newFixture(t, 200, aq1, aq2)
+	rec, err := a.Recommend(AlgoTopDownFull, a.AllIndexSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := a.WriteReport(&sb, rec); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"XML Index Advisor report",
+		"2 unique statements",
+		"basic + ",
+		"/Security/Symbol",
+		"/Security//*",
+		"Estimated benefit",
+		"optimizer calls",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Chosen candidates are starred.
+	if !strings.Contains(out, "* ") {
+		t.Error("no chosen candidate marked in report")
+	}
+}
+
+func TestWriteReportEmptyRecommendation(t *testing.T) {
+	a := newFixture(t, 200, aq1)
+	rec, err := a.Recommend(AlgoHeuristic, 1) // budget too small for anything
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Config) != 0 {
+		t.Fatalf("expected empty recommendation at 1-byte budget")
+	}
+	var sb strings.Builder
+	if err := a.WriteReport(&sb, rec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no indexes pay off") {
+		t.Error("empty recommendation not explained")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	a := newFixture(t, 200, aq1, aq2)
+	rec, err := a.Recommend(AlgoTopDownLite, a.AllIndexSize()*100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := a.WriteDOT(&sb, rec); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph candidates {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("not a DOT graph:\n%s", out)
+	}
+	// The general candidate C4 must have edges to its children.
+	if !strings.Contains(out, "->") {
+		t.Error("DAG has no edges in DOT output")
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Error("general candidates not visually distinguished")
+	}
+	if !strings.Contains(out, "penwidth=2") {
+		t.Error("chosen candidates not highlighted")
+	}
+	// Every candidate appears as a node.
+	for _, c := range a.Candidates.All {
+		if !strings.Contains(out, "c"+strconv.Itoa(c.ID)+" [") {
+			t.Errorf("candidate %d missing from DOT", c.ID)
+		}
+	}
+}

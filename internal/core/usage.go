@@ -1,0 +1,77 @@
+package core
+
+import (
+	"xixa/internal/xindex"
+	"xixa/internal/xquery"
+)
+
+// UsageReport records, for a configuration, which indexes the optimizer
+// actually uses across the workload's plans. The paper motivates tight
+// coupling precisely so that "the indexes that we recommend are
+// actually used by the optimizer in the query execution plans" (§I);
+// this report verifies that property for any configuration, and powers
+// the drop-unused postpass that §VI-A describes (and argues is inferior
+// to the in-search heuristics).
+type UsageReport struct {
+	// UsedBy maps candidate IDs to the workload statement ordinals
+	// whose chosen plan uses that index.
+	UsedBy map[int][]int
+	// Unused lists the configuration's never-used candidates.
+	Unused []*Candidate
+}
+
+// ValidateUsage optimizes every workload statement under the
+// configuration and reports which indexes appear in the chosen plans.
+func (a *Advisor) ValidateUsage(cfg []*Candidate) (*UsageReport, error) {
+	defs := make([]xindex.Definition, len(cfg))
+	byKey := make(map[string]*Candidate, len(cfg))
+	for i, c := range cfg {
+		defs[i] = c.Def
+		byKey[c.Def.Key()] = c
+	}
+	rep := &UsageReport{UsedBy: make(map[int][]int)}
+	for ord, item := range a.W.Items {
+		if item.Stmt.Kind == xquery.Insert {
+			continue // inserts never use indexes
+		}
+		plan, err := a.Opt.EvaluateIndexes(item.Stmt, defs)
+		if err != nil {
+			continue
+		}
+		for _, acc := range plan.Accesses {
+			if c, ok := byKey[acc.Index.Key()]; ok {
+				rep.UsedBy[c.ID] = append(rep.UsedBy[c.ID], ord)
+			}
+		}
+	}
+	for _, c := range cfg {
+		if len(rep.UsedBy[c.ID]) == 0 {
+			rep.Unused = append(rep.Unused, c)
+		}
+	}
+	return rep, nil
+}
+
+// PruneUnused returns the configuration with never-used indexes
+// removed. This is the postpass the paper mentions as the naive fix for
+// greedy's redundancy ("compile all workload queries after the indexes
+// ... are selected, and then eliminate indexes that are never used");
+// the space it reclaims is NOT refilled, which is exactly why the paper
+// prefers detecting redundancy during the search.
+func (a *Advisor) PruneUnused(cfg []*Candidate) ([]*Candidate, error) {
+	rep, err := a.ValidateUsage(cfg)
+	if err != nil {
+		return nil, err
+	}
+	unused := make(map[int]bool, len(rep.Unused))
+	for _, c := range rep.Unused {
+		unused[c.ID] = true
+	}
+	var out []*Candidate
+	for _, c := range cfg {
+		if !unused[c.ID] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

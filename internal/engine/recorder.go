@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"sync"
+
+	"xixa/internal/workload"
+	"xixa/internal/xquery"
+)
+
+// Recorder captures the statements an engine executes, building the
+// "representative training workload" the paper's DBA assembles (§VI-B)
+// directly from production traffic. Attach with Engine.SetRecorder and
+// feed the result to the advisor.
+type Recorder struct {
+	mu    sync.Mutex
+	items map[string]*recorded
+	order []string
+}
+
+type recorded struct {
+	stmt *xquery.Statement
+	freq int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{items: make(map[string]*recorded)}
+}
+
+// Record notes one execution of stmt.
+func (r *Recorder) Record(stmt *xquery.Statement) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[stmt.Raw]; ok {
+		it.freq++
+		return
+	}
+	r.items[stmt.Raw] = &recorded{stmt: stmt, freq: 1}
+	r.order = append(r.order, stmt.Raw)
+}
+
+// Len returns the number of distinct statements captured.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+// Workload converts the capture into an advisor workload, in first-seen
+// order with accumulated frequencies.
+func (r *Recorder) Workload() *workload.Workload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := &workload.Workload{}
+	for _, raw := range r.order {
+		it := r.items[raw]
+		w.Add(it.stmt, it.freq)
+	}
+	return w
+}
+
+// SetRecorder attaches a recorder to the engine; every subsequently
+// executed statement is captured. Pass nil to stop recording.
+func (e *Engine) SetRecorder(r *Recorder) { e.recorder = r }

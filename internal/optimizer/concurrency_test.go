@@ -1,0 +1,86 @@
+package optimizer
+
+import (
+	"sync"
+	"testing"
+
+	"xixa/internal/xindex"
+	"xixa/internal/xpath"
+	"xixa/internal/xquery"
+)
+
+// The optimizer must support concurrent Evaluate/Enumerate calls: the
+// advisor's clients (and our experiments) may optimize statements from
+// multiple goroutines. Run with -race.
+func TestConcurrentOptimizerCalls(t *testing.T) {
+	_, opt := newFixture(t, 300)
+	stmts := []*xquery.Statement{
+		xquery.MustParse(oq1),
+		xquery.MustParse(oq2),
+		xquery.MustParse(`SECURITY('SDOC')/Security[PE<12.0]`),
+		xquery.MustParse(`delete from SECURITY where /Security[Symbol="S00001"]`),
+	}
+	cfg := []xindex.Definition{
+		defOf("/Security/Symbol", xpath.StringVal),
+		defOf("/Security/Yield", xpath.NumberVal),
+		defOf("/Security//*", xpath.StringVal),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				stmt := stmts[(g+i)%len(stmts)]
+				if _, err := opt.EvaluateIndexes(stmt, cfg); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := opt.EnumerateIndexes(stmt); err != nil {
+					errs <- err
+					return
+				}
+				opt.MaintenanceCost(cfg[0], stmt)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if opt.EvaluateCalls() != 8*50 {
+		t.Errorf("EvaluateCalls = %d, want %d", opt.EvaluateCalls(), 8*50)
+	}
+}
+
+// Concurrent identical calls must agree on the plan cost (the
+// statistics caches behind the optimizer must be race-free and
+// deterministic).
+func TestConcurrentCostsDeterministic(t *testing.T) {
+	_, opt := newFixture(t, 300)
+	stmt := xquery.MustParse(oq2)
+	cfg := []xindex.Definition{
+		defOf("/Security/Yield", xpath.NumberVal),
+		defOf("/Security/SecInfo/*/Sector", xpath.StringVal),
+	}
+	costs := make([]float64, 16)
+	var wg sync.WaitGroup
+	for i := range costs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plan, err := opt.EvaluateIndexes(stmt, cfg)
+			if err == nil {
+				costs[i] = plan.EstCost
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(costs); i++ {
+		if costs[i] != costs[0] {
+			t.Fatalf("concurrent costs differ: %v", costs)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"xixa/internal/xindex"
+	"xixa/internal/xpath"
+	"xixa/internal/xquery"
+)
+
+func TestExplainFullScan(t *testing.T) {
+	_, opt := newFixture(t, 200)
+	plan, err := opt.EvaluateIndexes(xquery.MustParse(oq1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := opt.Explain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := tree.Operators()
+	want := []string{OpReturn, OpFilter, OpTbScan}
+	if len(ops) != len(want) {
+		t.Fatalf("operators = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %s, want %s", i, ops[i], want[i])
+		}
+	}
+	if tree.Cost != plan.EstCost {
+		t.Errorf("root cost %v != plan cost %v", tree.Cost, plan.EstCost)
+	}
+}
+
+func TestExplainSingleIndex(t *testing.T) {
+	_, opt := newFixture(t, 200)
+	cfg := []xindex.Definition{defOf("/Security/Symbol", xpath.StringVal)}
+	plan, err := opt.EvaluateIndexes(xquery.MustParse(oq1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := opt.Explain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := strings.Join(tree.Operators(), ",")
+	if ops != "RETURN,FILTER,FETCH,IXSCAN" {
+		t.Errorf("operators = %s", ops)
+	}
+	text := tree.Render()
+	if !strings.Contains(text, "/Security/Symbol") || !strings.Contains(text, "IXSCAN") {
+		t.Errorf("render missing pieces:\n%s", text)
+	}
+}
+
+func TestExplainIndexANDing(t *testing.T) {
+	_, opt := newFixture(t, 2000)
+	cfg := []xindex.Definition{
+		defOf("/Security/Yield", xpath.NumberVal),
+		defOf("/Security/SecInfo/*/Sector", xpath.StringVal),
+	}
+	plan, err := opt.EvaluateIndexes(xquery.MustParse(oq2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Accesses) < 2 {
+		t.Skip("fixture did not produce an ANDing plan")
+	}
+	tree, err := opt.Explain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := strings.Join(tree.Operators(), ",")
+	if !strings.Contains(ops, "IXAND,IXSCAN,IXSCAN") {
+		t.Errorf("operators = %s, want IXAND over two IXSCANs", ops)
+	}
+}
+
+func TestExplainDML(t *testing.T) {
+	_, opt := newFixture(t, 100)
+	ins, err := opt.EvaluateIndexes(xquery.MustParse(
+		`insert into SECURITY value <Security><Symbol>X</Symbol></Security>`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := opt.Explain(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Op != OpInsert || len(tree.Children) != 0 {
+		t.Errorf("insert tree = %v", tree.Operators())
+	}
+	del, err := opt.EvaluateIndexes(xquery.MustParse(
+		`delete from SECURITY where /Security[Symbol="S00001"]`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err = opt.Explain(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Op != OpDelete {
+		t.Errorf("delete root = %s", tree.Op)
+	}
+}
+
+func TestExplainCardinalityReasonable(t *testing.T) {
+	_, opt := newFixture(t, 500)
+	cfg := []xindex.Definition{defOf("/Security/Symbol", xpath.StringVal)}
+	plan, err := opt.EvaluateIndexes(xquery.MustParse(oq1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := opt.Explain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A unique-key point query should estimate ~1 document out.
+	if tree.Cardinality < 0.5 || tree.Cardinality > 5 {
+		t.Errorf("point-query cardinality = %v, want ~1", tree.Cardinality)
+	}
+}

@@ -1,0 +1,382 @@
+// Package optimizer implements the cost-based query optimizer the
+// advisor is tightly coupled to, including the two server-side modes
+// the paper adds to DB2 (§III):
+//
+//   - Enumerate Indexes mode: a virtual universal index (pattern //*,
+//     plus //@* for attributes) is planted, the statement is rewritten
+//     and index-matched against it, and every matched index pattern is
+//     reported as a basic candidate.
+//   - Evaluate Indexes mode: a configuration of virtual indexes (index
+//     definitions whose statistics are derived from the path synopsis)
+//     is planted and the statement's cheapest plan cost under that
+//     configuration is returned.
+//
+// The same plan-selection code also produces executable plans over real
+// indexes for the engine, so estimated and actual experiments share one
+// optimizer, exactly as in the paper's prototype.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"xixa/internal/storage"
+	"xixa/internal/xindex"
+	"xixa/internal/xpath"
+	"xixa/internal/xquery"
+	"xixa/internal/xstats"
+)
+
+// PredSite is an indexable predicate site discovered in a statement
+// after rewriting: a linear absolute pattern, a comparison, and a typed
+// literal. Index matching pairs candidate indexes with sites.
+type PredSite struct {
+	// Ordinal is the site's position within the statement (stable ID).
+	Ordinal int
+	// Pattern is the linear absolute path to the compared node.
+	Pattern xpath.Path
+	// Op and Lit form the comparison.
+	Op  xpath.CmpOp
+	Lit xpath.Value
+}
+
+// Key identifies the site's pattern and type for bitmap bookkeeping
+// (the greedy heuristic's "XPath patterns in the workload" bitmap).
+func (s PredSite) Key() string {
+	return s.Pattern.String() + "|" + s.Lit.Kind.String()
+}
+
+// Access is one index choice for one predicate site inside a plan.
+type Access struct {
+	Site  PredSite
+	Index xindex.Definition
+	// EntriesScanned is the estimated number of index entries read.
+	EntriesScanned float64
+	// DocFraction is the estimated fraction of documents surviving this
+	// access's filter.
+	DocFraction float64
+}
+
+// Plan is the optimizer's chosen access plan for one statement.
+type Plan struct {
+	Stmt *xquery.Statement
+	// Accesses is empty for a full-scan plan.
+	Accesses []Access
+	// EstCost is the estimated execution cost in timerons.
+	EstCost float64
+	// EstBaseCost is the full-scan cost for reference.
+	EstBaseCost float64
+}
+
+// UsesIndexes reports whether the plan uses any index.
+func (p *Plan) UsesIndexes() bool { return len(p.Accesses) > 0 }
+
+// String renders a one-line EXPLAIN summary.
+func (p *Plan) String() string {
+	if !p.UsesIndexes() {
+		return fmt.Sprintf("TBSCAN cost=%.0f", p.EstCost)
+	}
+	parts := make([]string, len(p.Accesses))
+	for i, a := range p.Accesses {
+		parts[i] = a.Index.Pattern.String()
+	}
+	return fmt.Sprintf("IXAND(%s) cost=%.0f", strings.Join(parts, ","), p.EstCost)
+}
+
+// Optimizer is the cost-based optimizer. It reads table statistics (the
+// RUNSTATS synopsis) and decides plans; it never touches real index
+// contents, so virtual and real indexes are optimized identically.
+type Optimizer struct {
+	db    *storage.Database
+	stats map[string]*xstats.TableStats
+
+	enumerateCalls atomic.Int64
+	evaluateCalls  atomic.Int64
+}
+
+// New creates an optimizer over a database with collected statistics.
+func New(db *storage.Database, stats map[string]*xstats.TableStats) *Optimizer {
+	return &Optimizer{db: db, stats: stats}
+}
+
+// CollectStats runs statistics collection for every table of a database
+// (the RUNSTATS step of the paper's architecture).
+func CollectStats(db *storage.Database) map[string]*xstats.TableStats {
+	out := make(map[string]*xstats.TableStats)
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			continue
+		}
+		out[name] = xstats.Collect(t)
+	}
+	return out
+}
+
+// EnumerateCalls returns how many Enumerate Indexes optimizations ran.
+func (o *Optimizer) EnumerateCalls() int64 { return o.enumerateCalls.Load() }
+
+// EvaluateCalls returns how many Evaluate Indexes optimizations ran.
+// The advisor's efficient benefit evaluation (paper §VI-C) exists to
+// minimize this number.
+func (o *Optimizer) EvaluateCalls() int64 { return o.evaluateCalls.Load() }
+
+// ResetCallCounters zeroes both mode counters.
+func (o *Optimizer) ResetCallCounters() {
+	o.enumerateCalls.Store(0)
+	o.evaluateCalls.Store(0)
+}
+
+// tableStats fetches the synopsis for a statement's table.
+func (o *Optimizer) tableStats(table string) (*xstats.TableStats, error) {
+	ts, ok := o.stats[table]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: no statistics for table %q (run CollectStats)", table)
+	}
+	return ts, nil
+}
+
+// ExtractSites rewrites the statement into its normalized predicate
+// form and extracts every indexable predicate site: for a predicate
+// [rel op lit] attached to step i of the normalized path, the site
+// pattern is the linear prefix through step i concatenated with rel.
+// Only value comparisons are indexable (existence tests and returns are
+// not), matching DB2's XML index eligibility rules.
+func ExtractSites(stmt *xquery.Statement) []PredSite {
+	norm := stmt.NormalizedPath()
+	if len(norm.Steps) == 0 {
+		return nil
+	}
+	var sites []PredSite
+	for i, st := range norm.Steps {
+		for _, pr := range st.Preds {
+			if pr.Op == xpath.OpNone {
+				continue
+			}
+			if !pr.Rel.IsLinear() {
+				continue
+			}
+			prefix := xpath.Path{Steps: norm.Steps[:i+1]}.StripPreds()
+			pattern := xpath.Concat(prefix, pr.Rel.StripPreds())
+			sites = append(sites, PredSite{
+				Ordinal: len(sites),
+				Pattern: pattern,
+				Op:      pr.Op,
+				Lit:     pr.Lit,
+			})
+		}
+	}
+	return sites
+}
+
+// universalIndexes returns the //* and //@* virtual universal indexes
+// of both types, the Enumerate Indexes mode's matching targets.
+func universalIndexes(table string) []xindex.Definition {
+	return []xindex.Definition{
+		{Table: table, Pattern: xpath.MustParsePattern("//*"), Type: xpath.StringVal},
+		{Table: table, Pattern: xpath.MustParsePattern("//*"), Type: xpath.NumberVal},
+		{Table: table, Pattern: xpath.MustParsePattern("//@*"), Type: xpath.StringVal},
+		{Table: table, Pattern: xpath.MustParsePattern("//@*"), Type: xpath.NumberVal},
+	}
+}
+
+// EnumerateIndexes runs the Enumerate Indexes optimizer mode on one
+// statement: it optimizes the statement with the virtual universal
+// index planted and reports every index pattern that the index-matching
+// step matched against it (paper §IV). The returned definitions are the
+// statement's basic candidate indexes.
+func (o *Optimizer) EnumerateIndexes(stmt *xquery.Statement) ([]xindex.Definition, error) {
+	o.enumerateCalls.Add(1)
+	if _, err := o.tableStats(stmt.Table); err != nil {
+		return nil, err
+	}
+	sites := ExtractSites(stmt)
+	var out []xindex.Definition
+	seen := make(map[string]bool)
+	for _, site := range sites {
+		for _, uni := range universalIndexes(stmt.Table) {
+			if !uni.Matches(site.Pattern, site.Lit.Kind) {
+				continue
+			}
+			def := xindex.Definition{Table: stmt.Table, Pattern: site.Pattern, Type: site.Lit.Kind}
+			if !seen[def.Key()] {
+				seen[def.Key()] = true
+				out = append(out, def)
+			}
+			break
+		}
+	}
+	return out, nil
+}
+
+// EvaluateIndexes runs the Evaluate Indexes optimizer mode: it plants
+// the given virtual index configuration, optimizes the statement, and
+// returns the chosen plan with its estimated cost (paper §III). A nil
+// configuration yields the no-index baseline cost.
+func (o *Optimizer) EvaluateIndexes(stmt *xquery.Statement, config []xindex.Definition) (*Plan, error) {
+	o.evaluateCalls.Add(1)
+	return o.plan(stmt, config)
+}
+
+// plan is shared by EvaluateIndexes (virtual configs) and the engine
+// (real configs): choose the cheapest access plan under the given index
+// definitions.
+func (o *Optimizer) plan(stmt *xquery.Statement, config []xindex.Definition) (*Plan, error) {
+	ts, err := o.tableStats(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	base := o.baseCost(stmt, ts)
+	p := &Plan{Stmt: stmt, EstCost: base, EstBaseCost: base}
+
+	if stmt.Kind == xquery.Insert {
+		return p, nil // inserts never use indexes
+	}
+	sites := ExtractSites(stmt)
+	if len(sites) == 0 || len(config) == 0 {
+		return p, nil
+	}
+
+	// Index matching: for each site pick the cheapest matching index.
+	type choice struct {
+		access Access
+		cost   float64 // probe cost of this access alone
+	}
+	var choices []choice
+	for _, site := range sites {
+		best := choice{cost: math.Inf(1)}
+		found := false
+		for _, def := range config {
+			if def.Table != stmt.Table || !def.Matches(site.Pattern, site.Lit.Kind) {
+				continue
+			}
+			idxStats := ts.ForPattern(def.Pattern, def.Type)
+			if idxStats.Entries == 0 {
+				continue
+			}
+			sel := idxStats.Selectivity(site.Op, site.Lit)
+			entries := sel * float64(idxStats.Entries)
+			probe := float64(idxStats.Levels)*CostPerIndexPage + entries*CostPerIndexEntry
+			// Document fraction surviving this site's filter, estimated
+			// from the site pattern's own statistics.
+			docFrac := o.siteDocFraction(site, ts)
+			if probe < best.cost {
+				best = choice{
+					access: Access{Site: site, Index: def, EntriesScanned: entries, DocFraction: docFrac},
+					cost:   probe,
+				}
+				found = true
+			}
+		}
+		if found {
+			choices = append(choices, best)
+		}
+	}
+	if len(choices) == 0 {
+		return p, nil
+	}
+
+	// Index ANDing: add accesses in order of increasing document
+	// fraction while each addition lowers the total plan cost.
+	sort.Slice(choices, func(i, j int) bool {
+		if choices[i].access.DocFraction != choices[j].access.DocFraction {
+			return choices[i].access.DocFraction < choices[j].access.DocFraction
+		}
+		return choices[i].access.Site.Ordinal < choices[j].access.Site.Ordinal
+	})
+	var accesses []Access
+	bestCost := base
+	curCost := 0.0
+	docFrac := 1.0
+	for _, ch := range choices {
+		newProbe := curCost + ch.cost
+		newFrac := docFrac * ch.access.DocFraction
+		total := o.indexPlanCost(stmt, ts, newProbe, newFrac)
+		if total < bestCost {
+			accesses = append(accesses, ch.access)
+			bestCost = total
+			curCost = newProbe
+			docFrac = newFrac
+		}
+	}
+	if len(accesses) > 0 {
+		p.Accesses = accesses
+		p.EstCost = bestCost
+	}
+	return p, nil
+}
+
+// baseCost is the full-scan cost of the statement.
+func (o *Optimizer) baseCost(stmt *xquery.Statement, ts *xstats.TableStats) float64 {
+	switch stmt.Kind {
+	case xquery.Insert:
+		n := 0.0
+		if stmt.Doc != nil {
+			n = float64(stmt.Doc.Len())
+		}
+		return CostStatementOverhead + n*CostPerModifiedNode
+	case xquery.Delete, xquery.Update:
+		// Find matching documents by scan, then modify them.
+		modified := o.estimateMatchingDocs(stmt, ts)
+		return CostStatementOverhead + float64(ts.TotalNodes)*CostPerScannedNode +
+			modified*ts.AvgNodesPerDoc()*CostPerModifiedNode
+	default:
+		return CostStatementOverhead + float64(ts.TotalNodes)*CostPerScannedNode +
+			o.resultCost(stmt, ts)
+	}
+}
+
+// indexPlanCost combines probe costs with the fetch-and-verify phase.
+func (o *Optimizer) indexPlanCost(stmt *xquery.Statement, ts *xstats.TableStats, probeCost, docFrac float64) float64 {
+	candidateDocs := docFrac * float64(ts.DocCount)
+	fetch := candidateDocs * ts.AvgNodesPerDoc() * CostPerFetchedNode
+	cost := CostStatementOverhead + probeCost + fetch
+	switch stmt.Kind {
+	case xquery.Delete, xquery.Update:
+		modified := o.estimateMatchingDocs(stmt, ts)
+		cost += modified * ts.AvgNodesPerDoc() * CostPerModifiedNode
+	default:
+		cost += o.resultCost(stmt, ts)
+	}
+	return cost
+}
+
+// resultCost estimates the cost of emitting the statement's results.
+func (o *Optimizer) resultCost(stmt *xquery.Statement, ts *xstats.TableStats) float64 {
+	return o.estimateMatchingDocs(stmt, ts) * CostPerResultNode * math.Max(1, float64(len(stmt.Returns)))
+}
+
+// siteDocFraction estimates the fraction of documents that satisfy one
+// predicate site: with perDoc matching nodes per document each passing
+// the comparison with probability sel, the expected number of passing
+// nodes per document is sel*perDoc, and P(at least one) is approximated
+// by min(1, sel*perDoc).
+func (o *Optimizer) siteDocFraction(site PredSite, ts *xstats.TableStats) float64 {
+	siteStats := ts.ForPattern(site.Pattern, site.Lit.Kind)
+	sel := siteStats.Selectivity(site.Op, site.Lit)
+	perDoc := ts.EntriesPerDoc(siteStats)
+	return clamp01(sel * perDoc)
+}
+
+// estimateMatchingDocs estimates how many documents satisfy all of the
+// statement's predicates (independence assumption).
+func (o *Optimizer) estimateMatchingDocs(stmt *xquery.Statement, ts *xstats.TableStats) float64 {
+	frac := 1.0
+	for _, site := range ExtractSites(stmt) {
+		frac *= o.siteDocFraction(site, ts)
+	}
+	return frac * float64(ts.DocCount)
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,372 @@
+// Package persist implements binary snapshots of a database and its
+// index catalog: a length-prefixed, checksummed format holding every
+// table's documents as node records, plus the index definitions (index
+// contents are rebuilt from data on load, like a REORG, so snapshots
+// stay small and can never disagree with the data).
+//
+// Format (little-endian):
+//
+//	magic "XIXADB1\n"
+//	uvarint tableCount
+//	  table: string name, uvarint docCount
+//	    doc: uvarint nodeCount
+//	      node: byte kind, varint parent(+1), string name, string value
+//	uvarint indexDefCount
+//	  def: string table, string pattern, byte type
+//	uint32 CRC-32 (Castagnoli) of everything before it
+//
+// Children, levels, and subtree intervals are reconstructed from the
+// parent links and document order on load.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"xixa/internal/storage"
+	"xixa/internal/xindex"
+	"xixa/internal/xmltree"
+	"xixa/internal/xpath"
+)
+
+var magic = []byte("XIXADB1\n")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type countingWriter struct {
+	w   *bufio.Writer
+	sum hash.Hash32
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (cw *countingWriter) write(p []byte) error {
+	if _, err := cw.w.Write(p); err != nil {
+		return err
+	}
+	cw.sum.Write(p)
+	return nil
+}
+
+func (cw *countingWriter) uvarint(v uint64) error {
+	n := binary.PutUvarint(cw.buf[:], v)
+	return cw.write(cw.buf[:n])
+}
+
+func (cw *countingWriter) varint(v int64) error {
+	n := binary.PutVarint(cw.buf[:], v)
+	return cw.write(cw.buf[:n])
+}
+
+func (cw *countingWriter) str(s string) error {
+	if err := cw.uvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	return cw.write([]byte(s))
+}
+
+// SaveDatabase writes a snapshot of db and the given index definitions.
+func SaveDatabase(w io.Writer, db *storage.Database, defs []xindex.Definition) error {
+	cw := &countingWriter{w: bufio.NewWriter(w), sum: crc32.New(crcTable)}
+	if err := cw.write(magic); err != nil {
+		return err
+	}
+	names := db.TableNames()
+	if err := cw.uvarint(uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		tbl, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := cw.str(name); err != nil {
+			return err
+		}
+		if err := cw.uvarint(uint64(tbl.DocCount())); err != nil {
+			return err
+		}
+		var docErr error
+		tbl.Scan(func(doc *xmltree.Document) bool {
+			docErr = writeDoc(cw, doc)
+			return docErr == nil
+		})
+		if docErr != nil {
+			return docErr
+		}
+	}
+	if err := cw.uvarint(uint64(len(defs))); err != nil {
+		return err
+	}
+	for _, def := range defs {
+		if err := cw.str(def.Table); err != nil {
+			return err
+		}
+		if err := cw.str(def.Pattern.String()); err != nil {
+			return err
+		}
+		kind := byte(0)
+		if def.Type == xpath.NumberVal {
+			kind = 1
+		}
+		if err := cw.write([]byte{kind}); err != nil {
+			return err
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.sum.Sum32())
+	if _, err := cw.w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+func writeDoc(cw *countingWriter, doc *xmltree.Document) error {
+	if err := cw.uvarint(uint64(doc.Len())); err != nil {
+		return err
+	}
+	for i := range doc.Nodes {
+		n := &doc.Nodes[i]
+		if err := cw.write([]byte{byte(n.Kind)}); err != nil {
+			return err
+		}
+		if err := cw.varint(int64(n.Parent)); err != nil {
+			return err
+		}
+		if err := cw.str(n.Name); err != nil {
+			return err
+		}
+		if err := cw.str(n.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checkedReader struct {
+	r   *bufio.Reader
+	sum hash.Hash32
+}
+
+func (cr *checkedReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	cr.sum.Write([]byte{b})
+	return b, nil
+}
+
+func (cr *checkedReader) read(p []byte) error {
+	if _, err := io.ReadFull(cr.r, p); err != nil {
+		return err
+	}
+	cr.sum.Write(p)
+	return nil
+}
+
+func (cr *checkedReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(cr)
+}
+
+func (cr *checkedReader) varint() (int64, error) {
+	return binary.ReadVarint(cr)
+}
+
+// maxStringLen bounds string fields to keep corrupted lengths from
+// allocating unbounded memory.
+const maxStringLen = 1 << 24
+
+func (cr *checkedReader) str() (string, error) {
+	n, err := cr.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("persist: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if err := cr.read(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// LoadDatabase reads a snapshot, verifies its checksum, and rebuilds
+// the database and index definitions.
+func LoadDatabase(r io.Reader) (*storage.Database, []xindex.Definition, error) {
+	cr := &checkedReader{r: bufio.NewReader(r), sum: crc32.New(crcTable)}
+	head := make([]byte, len(magic))
+	if err := cr.read(head); err != nil {
+		return nil, nil, fmt.Errorf("persist: reading magic: %w", err)
+	}
+	if string(head) != string(magic) {
+		return nil, nil, fmt.Errorf("persist: not a xixa snapshot (bad magic %q)", head)
+	}
+	db := storage.NewDatabase()
+	tableCount, err := cr.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	for t := uint64(0); t < tableCount; t++ {
+		name, err := cr.str()
+		if err != nil {
+			return nil, nil, err
+		}
+		tbl, err := db.CreateTable(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		docCount, err := cr.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		for d := uint64(0); d < docCount; d++ {
+			doc, err := readDoc(cr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+			}
+			tbl.Insert(doc)
+		}
+	}
+	defCount, err := cr.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	var defs []xindex.Definition
+	for i := uint64(0); i < defCount; i++ {
+		table, err := cr.str()
+		if err != nil {
+			return nil, nil, err
+		}
+		patText, err := cr.str()
+		if err != nil {
+			return nil, nil, err
+		}
+		pattern, err := xpath.ParsePattern(patText)
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: index %d: %w", i, err)
+		}
+		var kindByte [1]byte
+		if err := cr.read(kindByte[:]); err != nil {
+			return nil, nil, err
+		}
+		kind := xpath.StringVal
+		if kindByte[0] == 1 {
+			kind = xpath.NumberVal
+		}
+		defs = append(defs, xindex.Definition{Table: table, Pattern: pattern, Type: kind})
+	}
+	wantSum := cr.sum.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, nil, fmt.Errorf("persist: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != wantSum {
+		return nil, nil, fmt.Errorf("persist: checksum mismatch (snapshot corrupted)")
+	}
+	return db, defs, nil
+}
+
+func readDoc(cr *checkedReader) (*xmltree.Document, error) {
+	nodeCount, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nodeCount == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	if nodeCount > maxStringLen {
+		return nil, fmt.Errorf("node count %d exceeds limit", nodeCount)
+	}
+	doc := &xmltree.Document{Nodes: make([]xmltree.Node, nodeCount)}
+	for i := uint64(0); i < nodeCount; i++ {
+		var kind [1]byte
+		if err := cr.read(kind[:]); err != nil {
+			return nil, err
+		}
+		if kind[0] > byte(xmltree.Text) {
+			return nil, fmt.Errorf("bad node kind %d", kind[0])
+		}
+		parent, err := cr.varint()
+		if err != nil {
+			return nil, err
+		}
+		if parent >= int64(i) || parent < -1 {
+			return nil, fmt.Errorf("node %d has invalid parent %d", i, parent)
+		}
+		name, err := cr.str()
+		if err != nil {
+			return nil, err
+		}
+		value, err := cr.str()
+		if err != nil {
+			return nil, err
+		}
+		doc.Nodes[i] = xmltree.Node{
+			ID:     xmltree.NodeID(i),
+			Kind:   xmltree.Kind(kind[0]),
+			Name:   name,
+			Value:  value,
+			Parent: xmltree.NodeID(parent),
+			EndID:  xmltree.NodeID(i),
+		}
+	}
+	// Reconstruct children, levels, and subtree intervals from the
+	// parent links: document order means a child always follows its
+	// parent.
+	for i := range doc.Nodes {
+		n := &doc.Nodes[i]
+		if n.Parent < 0 {
+			if i != 0 {
+				return nil, fmt.Errorf("node %d is a second root", i)
+			}
+			n.Level = 1
+			continue
+		}
+		p := &doc.Nodes[n.Parent]
+		p.Children = append(p.Children, n.ID)
+		n.Level = p.Level + 1
+	}
+	for i := len(doc.Nodes) - 1; i > 0; i-- {
+		n := &doc.Nodes[i]
+		p := &doc.Nodes[n.Parent]
+		if n.EndID > p.EndID {
+			p.EndID = n.EndID
+		}
+	}
+	return doc, nil
+}
+
+// SaveFile writes a snapshot to path atomically (temp file + rename).
+func SaveFile(path string, db *storage.Database, defs []xindex.Definition) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveDatabase(f, db, defs); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*storage.Database, []xindex.Definition, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return LoadDatabase(f)
+}

@@ -1,0 +1,187 @@
+// Package storage implements the database substrate: named tables with a
+// single XML column each (mirroring TPoX's SECURITY/ORDERS/CUSTACC
+// tables in DB2 pureXML), document storage, and a catalog of indexes.
+//
+// The storage layer is deliberately simple — an in-memory document
+// collection — because the advisor and optimizer only require document
+// scan, document fetch by ID, and size accounting.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xixa/internal/xmltree"
+)
+
+// Table is a named table with one XML column holding a collection of
+// documents.
+type Table struct {
+	Name string
+
+	mu      sync.RWMutex
+	docs    map[int64]*xmltree.Document
+	order   []int64 // insertion order for deterministic scans
+	nextID  int64
+	nodes   int64 // total node count across documents
+	bytes   int64 // total storage bytes
+	version int64 // bumped on every mutation; statistics staleness check
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{Name: name, docs: make(map[int64]*xmltree.Document)}
+}
+
+// Insert stores a document and returns its assigned document ID.
+func (t *Table) Insert(doc *xmltree.Document) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	t.nextID++
+	doc.DocID = id
+	t.docs[id] = doc
+	t.order = append(t.order, id)
+	t.nodes += int64(doc.Len())
+	t.bytes += doc.StorageBytes()
+	t.version++
+	return id
+}
+
+// Delete removes a document by ID, reporting whether it existed.
+func (t *Table) Delete(id int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	doc, ok := t.docs[id]
+	if !ok {
+		return false
+	}
+	delete(t.docs, id)
+	t.nodes -= int64(doc.Len())
+	t.bytes -= doc.StorageBytes()
+	// Remove from insertion order (linear; deletes are rare relative to scans).
+	for i, d := range t.order {
+		if d == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	t.version++
+	return true
+}
+
+// Get fetches a document by ID.
+func (t *Table) Get(id int64) (*xmltree.Document, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d, ok := t.docs[id]
+	return d, ok
+}
+
+// Scan visits every document in insertion order. The visit function
+// returns false to stop. Scan reports the number of documents visited.
+func (t *Table) Scan(visit func(*xmltree.Document) bool) int {
+	t.mu.RLock()
+	ids := make([]int64, len(t.order))
+	copy(ids, t.order)
+	t.mu.RUnlock()
+	visited := 0
+	for _, id := range ids {
+		t.mu.RLock()
+		d, ok := t.docs[id]
+		t.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		visited++
+		if !visit(d) {
+			break
+		}
+	}
+	return visited
+}
+
+// DocCount returns the number of stored documents.
+func (t *Table) DocCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.docs)
+}
+
+// NodeCount returns the total number of nodes across all documents.
+func (t *Table) NodeCount() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes
+}
+
+// SizeBytes returns the total storage size of the table.
+func (t *Table) SizeBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes
+}
+
+// Version returns the mutation counter, used by the statistics module
+// to detect stale statistics.
+func (t *Table) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Database is a set of named tables.
+type Database struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a new empty table. It fails if the name is taken.
+func (db *Database) CreateTable(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := NewTable(name)
+	db.tables[name] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (db *Database) MustCreateTable(name string) *Table {
+	t, err := db.CreateTable(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table looks up a table by name.
+func (db *Database) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no such table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted table names.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"xixa/internal/xmltree"
+)
+
+func doc(sym string, yield float64) *xmltree.Document {
+	return xmltree.NewBuilder().
+		Begin("Security").Leaf("Symbol", sym).LeafFloat("Yield", yield).End().
+		Document()
+}
+
+func TestCreateAndLookupTables(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.CreateTable("SECURITY"); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if _, err := db.CreateTable("SECURITY"); err == nil {
+		t.Error("duplicate CreateTable succeeded")
+	}
+	if _, err := db.Table("SECURITY"); err != nil {
+		t.Errorf("Table lookup: %v", err)
+	}
+	if _, err := db.Table("MISSING"); err == nil {
+		t.Error("lookup of missing table succeeded")
+	}
+	db.MustCreateTable("ORDERS")
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "ORDERS" || names[1] != "SECURITY" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tbl := NewTable("SECURITY")
+	id1 := tbl.Insert(doc("AAA", 1))
+	id2 := tbl.Insert(doc("BBB", 2))
+	if id1 == id2 {
+		t.Fatal("duplicate doc IDs assigned")
+	}
+	if tbl.DocCount() != 2 {
+		t.Errorf("DocCount = %d", tbl.DocCount())
+	}
+	d, ok := tbl.Get(id1)
+	if !ok || d.DocID != id1 {
+		t.Errorf("Get(%d) = %v, %v", id1, d, ok)
+	}
+	if !tbl.Delete(id1) {
+		t.Error("Delete failed")
+	}
+	if tbl.Delete(id1) {
+		t.Error("double Delete succeeded")
+	}
+	if _, ok := tbl.Get(id1); ok {
+		t.Error("Get after Delete succeeded")
+	}
+	if tbl.DocCount() != 1 {
+		t.Errorf("DocCount after delete = %d", tbl.DocCount())
+	}
+}
+
+func TestAccountingInvariants(t *testing.T) {
+	tbl := NewTable("T")
+	if tbl.NodeCount() != 0 || tbl.SizeBytes() != 0 {
+		t.Fatal("empty table must have zero counters")
+	}
+	var ids []int64
+	var nodes, bytes int64
+	for i := 0; i < 10; i++ {
+		d := doc(fmt.Sprintf("S%d", i), float64(i))
+		nodes += int64(d.Len())
+		bytes += d.StorageBytes()
+		ids = append(ids, tbl.Insert(d))
+	}
+	if tbl.NodeCount() != nodes || tbl.SizeBytes() != bytes {
+		t.Errorf("counters = (%d,%d), want (%d,%d)", tbl.NodeCount(), tbl.SizeBytes(), nodes, bytes)
+	}
+	for _, id := range ids {
+		tbl.Delete(id)
+	}
+	if tbl.NodeCount() != 0 || tbl.SizeBytes() != 0 {
+		t.Errorf("counters after deleting all = (%d,%d)", tbl.NodeCount(), tbl.SizeBytes())
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	tbl := NewTable("T")
+	for i := 0; i < 5; i++ {
+		tbl.Insert(doc(fmt.Sprintf("S%d", i), float64(i)))
+	}
+	var seen []string
+	tbl.Scan(func(d *xmltree.Document) bool {
+		seen = append(seen, d.Nodes[2].Value) // Symbol text node
+		return true
+	})
+	for i, s := range seen {
+		if s != fmt.Sprintf("S%d", i) {
+			t.Fatalf("scan order broken: %v", seen)
+		}
+	}
+	count := 0
+	visited := tbl.Scan(func(*xmltree.Document) bool {
+		count++
+		return count < 2
+	})
+	if visited != 2 {
+		t.Errorf("early stop visited %d", visited)
+	}
+}
+
+func TestVersionBumps(t *testing.T) {
+	tbl := NewTable("T")
+	v0 := tbl.Version()
+	id := tbl.Insert(doc("A", 1))
+	if tbl.Version() == v0 {
+		t.Error("Version unchanged after insert")
+	}
+	v1 := tbl.Version()
+	tbl.Delete(id)
+	if tbl.Version() == v1 {
+		t.Error("Version unchanged after delete")
+	}
+}

@@ -1,0 +1,187 @@
+package tpox
+
+import (
+	"strings"
+	"testing"
+
+	"xixa/internal/optimizer"
+	"xixa/internal/workload"
+	"xixa/internal/xpath"
+	"xixa/internal/xquery"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	db, err := NewDatabase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		table string
+		want  int
+	}{
+		{TableSecurity, 1000},
+		{TableOrders, 2000},
+		{TableCustAcc, 500},
+	} {
+		tbl, err := db.Table(tc.table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.DocCount() != tc.want {
+			t.Errorf("%s docs = %d, want %d", tc.table, tbl.DocCount(), tc.want)
+		}
+		if tbl.NodeCount() <= int64(tc.want) {
+			t.Errorf("%s nodes = %d, suspiciously few", tc.table, tbl.NodeCount())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	db1, _ := NewDatabase(1)
+	db2, _ := NewDatabase(1)
+	for _, name := range []string{TableSecurity, TableOrders, TableCustAcc} {
+		t1, _ := db1.Table(name)
+		t2, _ := db2.Table(name)
+		if t1.NodeCount() != t2.NodeCount() || t1.SizeBytes() != t2.SizeBytes() {
+			t.Errorf("%s not deterministic: %d/%d vs %d/%d nodes/bytes",
+				name, t1.NodeCount(), t1.SizeBytes(), t2.NodeCount(), t2.SizeBytes())
+		}
+	}
+}
+
+func TestPaperExamplePathsExist(t *testing.T) {
+	db, _ := NewDatabase(1)
+	stats := optimizer.CollectStats(db)
+	sec := stats[TableSecurity]
+	for _, pattern := range []string{
+		"/Security/Symbol",
+		"/Security/Yield",
+		"/Security/SecInfo/*/Sector",
+		"/Security//*",
+	} {
+		ps := sec.ForPattern(xpath.MustParse(pattern), xpath.StringVal)
+		numeric := sec.ForPattern(xpath.MustParse(pattern), xpath.NumberVal)
+		if ps.Entries == 0 && numeric.Entries == 0 {
+			t.Errorf("pattern %s matches nothing in generated data", pattern)
+		}
+	}
+}
+
+func TestElevenQueriesParseAndPlan(t *testing.T) {
+	db, _ := NewDatabase(1)
+	opt := optimizer.New(db, optimizer.CollectStats(db))
+	qs := Queries()
+	if len(qs) != 11 {
+		t.Fatalf("Queries() = %d, want 11 (the TPoX query set)", len(qs))
+	}
+	for i, q := range qs {
+		stmt, err := xquery.Parse(q)
+		if err != nil {
+			t.Fatalf("query %d does not parse: %v\n%s", i+1, err, q)
+		}
+		defs, err := opt.EnumerateIndexes(stmt)
+		if err != nil {
+			t.Fatalf("query %d: enumerate: %v", i+1, err)
+		}
+		if len(defs) == 0 {
+			t.Errorf("query %d exposes no candidates:\n%s", i+1, q)
+		}
+		plan, err := opt.EvaluateIndexes(stmt, defs)
+		if err != nil {
+			t.Fatalf("query %d: evaluate: %v", i+1, err)
+		}
+		if !plan.UsesIndexes() {
+			t.Errorf("query %d ignores its own candidates", i+1)
+		}
+		if plan.EstCost >= plan.EstBaseCost {
+			t.Errorf("query %d: indexed cost %.0f >= base %.0f", i+1, plan.EstCost, plan.EstBaseCost)
+		}
+	}
+}
+
+func TestUpdateStatementsParse(t *testing.T) {
+	for i, s := range UpdateStatements() {
+		stmt, err := xquery.Parse(s)
+		if err != nil {
+			t.Fatalf("update statement %d: %v", i+1, err)
+		}
+		if stmt.Kind == xquery.Query {
+			t.Errorf("statement %d is not DML", i+1)
+		}
+	}
+}
+
+func TestSyntheticQueriesParseAndHit(t *testing.T) {
+	db, _ := NewDatabase(1)
+	qs := SyntheticQueries(db, 30, 7)
+	if len(qs) != 30 {
+		t.Fatalf("got %d synthetic queries", len(qs))
+	}
+	opt := optimizer.New(db, optimizer.CollectStats(db))
+	hits := 0
+	for i, q := range qs {
+		stmt, err := xquery.Parse(q)
+		if err != nil {
+			t.Fatalf("synthetic %d does not parse: %v\n%s", i, err, q)
+		}
+		defs, err := opt.EnumerateIndexes(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(defs) > 0 {
+			hits++
+		}
+	}
+	if hits < len(qs)*9/10 {
+		t.Errorf("only %d/%d synthetic queries expose candidates", hits, len(qs))
+	}
+}
+
+func TestSyntheticQueriesDeterministic(t *testing.T) {
+	db, _ := NewDatabase(1)
+	a := SyntheticQueries(db, 10, 42)
+	b := SyntheticQueries(db, 10, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded synthetic queries differ at %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	c := SyntheticQueries(db, 10, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestSyntheticQueriesShareStructure(t *testing.T) {
+	// The generator must emit structurally varied paths (wildcards or
+	// descendant axes) often enough to exercise generalization.
+	db, _ := NewDatabase(1)
+	qs := SyntheticQueries(db, 50, 7)
+	varied := 0
+	for _, q := range qs {
+		if strings.Contains(q, "*") || strings.Contains(q, "//") {
+			varied++
+		}
+	}
+	if varied == 0 {
+		t.Error("no synthetic query uses wildcard or descendant structure")
+	}
+}
+
+func TestFullWorkloadParses(t *testing.T) {
+	db, _ := NewDatabase(1)
+	stmts := append(Queries(), SyntheticQueries(db, 9, 7)...)
+	w, err := workload.ParseStatements(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 20 {
+		t.Errorf("20-query workload has %d items", w.Len())
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xixa/internal/xquery"
+)
+
+// Summary aggregates a workload for reporting: statement-kind counts,
+// frequency mass, and per-table breakdowns.
+type Summary struct {
+	Unique    int
+	TotalFreq int
+	ByKind    map[xquery.Kind]int
+	ByTable   map[string]int
+}
+
+// Summarize computes the workload summary.
+func (w *Workload) Summarize() Summary {
+	s := Summary{
+		ByKind:  make(map[xquery.Kind]int),
+		ByTable: make(map[string]int),
+	}
+	for _, it := range w.Items {
+		s.Unique++
+		s.TotalFreq += it.Freq
+		s.ByKind[it.Stmt.Kind]++
+		s.ByTable[it.Stmt.Table]++
+	}
+	return s
+}
+
+// WriteSummary renders the summary as text.
+func (w *Workload) WriteSummary(out io.Writer) {
+	s := w.Summarize()
+	fmt.Fprintf(out, "workload: %d unique statements, total frequency %d\n", s.Unique, s.TotalFreq)
+	kinds := []xquery.Kind{xquery.Query, xquery.Insert, xquery.Delete, xquery.Update}
+	for _, k := range kinds {
+		if n := s.ByKind[k]; n > 0 {
+			fmt.Fprintf(out, "  %-7s %d\n", k.String()+":", n)
+		}
+	}
+	tables := make([]string, 0, len(s.ByTable))
+	for t := range s.ByTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		fmt.Fprintf(out, "  table %-10s %d statement(s)\n", t, s.ByTable[t])
+	}
+}
+
+// Merge returns a new workload combining w and other; statements with
+// identical text accumulate frequency.
+func (w *Workload) Merge(other *Workload) *Workload {
+	out := &Workload{}
+	for _, it := range w.Items {
+		out.Add(it.Stmt, it.Freq)
+	}
+	for _, it := range other.Items {
+		out.Add(it.Stmt, it.Freq)
+	}
+	return out
+}
+
+// Scale multiplies every frequency by k (k <= 0 is treated as 1).
+func (w *Workload) Scale(k int) {
+	if k <= 0 {
+		k = 1
+	}
+	for i := range w.Items {
+		w.Items[i].Freq *= k
+	}
+}

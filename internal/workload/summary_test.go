@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"xixa/internal/xquery"
+)
+
+func TestSummarize(t *testing.T) {
+	w := New()
+	w.Add(xquery.MustParse(wq1), 10)
+	w.Add(xquery.MustParse(wq2), 1)
+	w.Add(xquery.MustParse(ins), 2)
+	w.Add(xquery.MustParse(`delete from ORDERS where /Order[Status="cancelled"]`), 1)
+	s := w.Summarize()
+	if s.Unique != 4 || s.TotalFreq != 14 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.ByKind[xquery.Query] != 2 || s.ByKind[xquery.Insert] != 1 || s.ByKind[xquery.Delete] != 1 {
+		t.Errorf("by kind = %v", s.ByKind)
+	}
+	if s.ByTable["SECURITY"] != 3 || s.ByTable["ORDERS"] != 1 {
+		t.Errorf("by table = %v", s.ByTable)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	w := New(xquery.MustParse(wq1), xquery.MustParse(ins))
+	var sb strings.Builder
+	w.WriteSummary(&sb)
+	out := sb.String()
+	for _, want := range []string{"2 unique statements", "query:", "insert:", "SECURITY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.Add(xquery.MustParse(wq1), 3)
+	b := New()
+	b.Add(xquery.MustParse(wq1), 2)
+	b.Add(xquery.MustParse(wq2), 1)
+	m := a.Merge(b)
+	if m.Len() != 2 {
+		t.Fatalf("merged len = %d", m.Len())
+	}
+	if m.Items[0].Freq != 5 {
+		t.Errorf("merged freq = %d, want 5", m.Items[0].Freq)
+	}
+	// Merge must not mutate the inputs.
+	if a.Len() != 1 || a.Items[0].Freq != 3 {
+		t.Error("Merge mutated its receiver")
+	}
+}
+
+func TestScale(t *testing.T) {
+	w := New()
+	w.Add(xquery.MustParse(wq1), 2)
+	w.Scale(5)
+	if w.Items[0].Freq != 10 {
+		t.Errorf("scaled freq = %d", w.Items[0].Freq)
+	}
+	w.Scale(0) // treated as 1: no change
+	if w.Items[0].Freq != 10 {
+		t.Errorf("Scale(0) changed freq to %d", w.Items[0].Freq)
+	}
+}

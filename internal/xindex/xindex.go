@@ -1,0 +1,270 @@
+// Package xindex implements XML path-value indexes: partial indexes
+// defined by a linear XPath pattern and a data type, as created in DB2 9
+// with CREATE INDEX ... GENERATE KEY USING XMLPATTERN (paper §II, §III).
+//
+// An index contains one entry per node reachable by its pattern, keyed
+// by the node's typed value and carrying a (document, node) reference.
+// Real indexes are backed by a B+-tree; virtual indexes carry only the
+// statistics derived from the path synopsis and are what the optimizer
+// manipulates in its Enumerate/Evaluate modes.
+package xindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"xixa/internal/btree"
+	"xixa/internal/storage"
+	"xixa/internal/xmltree"
+	"xixa/internal/xpath"
+	"xixa/internal/xstats"
+)
+
+// Definition identifies an index: the table it indexes, its linear
+// XPath pattern, and its key type.
+type Definition struct {
+	Table   string
+	Pattern xpath.Path
+	Type    xpath.ValueKind
+}
+
+// String renders the definition the way the paper's tables do, e.g.
+// "/Security/Yield numerical on SECURITY".
+func (d Definition) String() string {
+	return fmt.Sprintf("%s %s on %s", d.Pattern.String(), d.Type, d.Table)
+}
+
+// Key returns a canonical identity string for maps.
+func (d Definition) Key() string {
+	return d.Table + "|" + d.Pattern.StripPreds().String() + "|" + d.Type.String()
+}
+
+// Validate checks the definition's pattern is a legal index pattern.
+func (d Definition) Validate() error {
+	if d.Table == "" {
+		return fmt.Errorf("xindex: definition missing table")
+	}
+	if d.Pattern.Relative {
+		return fmt.Errorf("xindex: pattern must be absolute: %s", d.Pattern)
+	}
+	if !d.Pattern.IsLinear() {
+		return fmt.Errorf("xindex: pattern must be linear (no predicates): %s", d.Pattern)
+	}
+	if len(d.Pattern.Steps) == 0 {
+		return fmt.Errorf("xindex: empty pattern")
+	}
+	return nil
+}
+
+// Ref is an index payload: a document and a node within it.
+type Ref struct {
+	Doc  int64
+	Node xmltree.NodeID
+}
+
+func packRef(r Ref) uint64 {
+	return uint64(r.Doc)<<24 | uint64(uint32(r.Node))&0xFFFFFF
+}
+
+func unpackRef(v uint64) Ref {
+	return Ref{Doc: int64(v >> 24), Node: xmltree.NodeID(v & 0xFFFFFF)}
+}
+
+// EncodeKey produces the order-preserving byte encoding of a typed
+// value: strings are tagged raw bytes; doubles are tagged big-endian
+// with the sign bit flipped (and negative values complemented) so byte
+// order equals numeric order.
+func EncodeKey(kind xpath.ValueKind, str string, num float64) []byte {
+	if kind == xpath.StringVal {
+		out := make([]byte, 1+len(str))
+		out[0] = 's'
+		copy(out[1:], str)
+		return out
+	}
+	bits := math.Float64bits(num)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	out := make([]byte, 9)
+	out[0] = 'n'
+	binary.BigEndian.PutUint64(out[1:], bits)
+	return out
+}
+
+// Index is a materialized path-value index.
+type Index struct {
+	Def  Definition
+	tree *btree.Tree
+}
+
+// Build creates and populates an index over the current contents of the
+// table. Nodes whose value does not parse as a number are skipped for
+// numeric indexes (DB2's IGNORE INVALID VALUES behaviour).
+func Build(t *storage.Table, def Definition) (*Index, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Name != def.Table {
+		return nil, fmt.Errorf("xindex: definition targets table %q, got %q", def.Table, t.Name)
+	}
+	idx := &Index{Def: def, tree: btree.MustNewTree(0)}
+	t.Scan(func(doc *xmltree.Document) bool {
+		idx.insertDoc(doc)
+		return true
+	})
+	return idx, nil
+}
+
+// matchingNodes returns the nodes of the document reachable by the
+// index pattern.
+func (x *Index) matchingNodes(doc *xmltree.Document) []xmltree.NodeID {
+	return xpath.Eval(doc, x.Def.Pattern)
+}
+
+func (x *Index) keyFor(doc *xmltree.Document, id xmltree.NodeID) ([]byte, bool) {
+	if x.Def.Type == xpath.NumberVal {
+		v, ok := doc.NumericValue(id)
+		if !ok {
+			return nil, false
+		}
+		return EncodeKey(xpath.NumberVal, "", v), true
+	}
+	return EncodeKey(xpath.StringVal, strings.TrimSpace(doc.TextOf(id)), 0), true
+}
+
+func (x *Index) insertDoc(doc *xmltree.Document) int {
+	added := 0
+	for _, id := range x.matchingNodes(doc) {
+		key, ok := x.keyFor(doc, id)
+		if !ok {
+			continue
+		}
+		if x.tree.Insert(key, packRef(Ref{Doc: doc.DocID, Node: id})) {
+			added++
+		}
+	}
+	return added
+}
+
+func (x *Index) deleteDoc(doc *xmltree.Document) int {
+	removed := 0
+	for _, id := range x.matchingNodes(doc) {
+		key, ok := x.keyFor(doc, id)
+		if !ok {
+			continue
+		}
+		if x.tree.Delete(key, packRef(Ref{Doc: doc.DocID, Node: id})) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// OnInsert maintains the index for a newly inserted document and
+// returns the number of entries added.
+func (x *Index) OnInsert(doc *xmltree.Document) int { return x.insertDoc(doc) }
+
+// OnDelete maintains the index for a document about to be deleted and
+// returns the number of entries removed.
+func (x *Index) OnDelete(doc *xmltree.Document) int { return x.deleteDoc(doc) }
+
+// Entries returns the number of index entries.
+func (x *Index) Entries() int { return x.tree.Len() }
+
+// Levels returns the B+-tree height.
+func (x *Index) Levels() int { return x.tree.Levels() }
+
+// SizeBytes returns the materialized index size.
+func (x *Index) SizeBytes() int64 { return x.tree.SizeBytes() }
+
+// Scan visits entries satisfying (op, lit) in key order. For OpNe the
+// scan is a full scan with the equal keys skipped. It reports the
+// number of index entries visited (the scan work), which the engine's
+// work counters use.
+func (x *Index) Scan(op xpath.CmpOp, lit xpath.Value, visit func(Ref) bool) int {
+	var lo, hi []byte
+	loIncl, hiIncl := true, true
+	var skipEq []byte
+	switch {
+	case lit.Kind == xpath.NumberVal && x.Def.Type != xpath.NumberVal,
+		lit.Kind == xpath.StringVal && x.Def.Type != xpath.StringVal:
+		return 0 // type mismatch: index cannot answer this comparison
+	}
+	key := EncodeKey(lit.Kind, lit.Str, lit.Num)
+	switch op {
+	case xpath.OpEq:
+		lo, hi = key, key
+	case xpath.OpLt:
+		hi, hiIncl = key, false
+		lo = typeFloor(lit.Kind)
+	case xpath.OpLe:
+		hi = key
+		lo = typeFloor(lit.Kind)
+	case xpath.OpGt:
+		lo, loIncl = key, false
+		hi = typeCeil(lit.Kind)
+	case xpath.OpGe:
+		lo = key
+		hi = typeCeil(lit.Kind)
+	case xpath.OpNe:
+		lo, hi = typeFloor(lit.Kind), typeCeil(lit.Kind)
+		skipEq = key
+	default:
+		return 0
+	}
+	return x.tree.AscendRange(lo, hi, loIncl, hiIncl, func(k []byte, v uint64) bool {
+		if skipEq != nil && string(k) == string(skipEq) {
+			return true
+		}
+		return visit(unpackRef(v))
+	})
+}
+
+// typeFloor/typeCeil bound the key space of one type tag, so ranges do
+// not leak into the other type's keys.
+func typeFloor(kind xpath.ValueKind) []byte {
+	if kind == xpath.NumberVal {
+		return []byte{'n'}
+	}
+	return []byte{'s'}
+}
+
+func typeCeil(kind xpath.ValueKind) []byte {
+	if kind == xpath.NumberVal {
+		return []byte{'n' + 1}
+	}
+	return []byte{'s' + 1}
+}
+
+// Matches reports whether this index can answer a query's indexable
+// predicate on the given pattern with the given literal type: the type
+// must agree and the index pattern must cover the query pattern.
+func (d Definition) Matches(queryPattern xpath.Path, litKind xpath.ValueKind) bool {
+	if d.Type != litKind {
+		return false
+	}
+	return xpath.Contains(d.Pattern, queryPattern)
+}
+
+// Virtual is a hypothetical index: a definition plus statistics derived
+// from the path synopsis. Virtual indexes participate in optimization
+// exactly like real ones but have no B+-tree.
+type Virtual struct {
+	Def   Definition
+	Stats xstats.PatternStats
+}
+
+// NewVirtual derives a virtual index from table statistics.
+func NewVirtual(ts *xstats.TableStats, def Definition) (*Virtual, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return &Virtual{Def: def, Stats: ts.ForPattern(def.Pattern, def.Type)}, nil
+}
+
+// SizeBytes returns the estimated size of the virtual index.
+func (v *Virtual) SizeBytes() int64 { return v.Stats.SizeBytes }

@@ -1,0 +1,69 @@
+package xmark
+
+import (
+	"testing"
+
+	"xixa/internal/core"
+	"xixa/internal/optimizer"
+	"xixa/internal/workload"
+)
+
+func TestGenerateAndCounts(t *testing.T) {
+	db, err := NewDatabase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table(Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 600 + 400 + 200
+	if tbl.DocCount() != want {
+		t.Errorf("docs = %d, want %d", tbl.DocCount(), want)
+	}
+}
+
+func TestQueriesParseAndExposeCandidates(t *testing.T) {
+	db, _ := NewDatabase(1)
+	opt := optimizer.New(db, optimizer.CollectStats(db))
+	w, err := workload.ParseStatements(Queries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range w.Items {
+		defs, err := opt.EnumerateIndexes(item.Stmt)
+		if err != nil {
+			t.Fatalf("query %d: %v", i+1, err)
+		}
+		if len(defs) == 0 {
+			t.Errorf("query %d exposes no candidates: %s", i+1, item.Stmt.Raw)
+		}
+	}
+}
+
+func TestAdvisorOnXMark(t *testing.T) {
+	// The advisor pipeline must work unchanged on the XMark schema.
+	db, _ := NewDatabase(1)
+	opt := optimizer.New(db, optimizer.CollectStats(db))
+	w, err := workload.ParseStatements(Queries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(db, opt, optimizer.CollectStats(db), w, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Candidates.Basic()) < len(Queries())-1 {
+		t.Errorf("basic candidates = %d for %d queries", len(a.Candidates.Basic()), len(Queries()))
+	}
+	rec, err := a.Recommend(core.AlgoHeuristic, a.AllIndexSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Config) == 0 {
+		t.Error("no recommendation on XMark workload")
+	}
+	if sp := a.EstimatedSpeedup(rec.Config); sp <= 1 {
+		t.Errorf("XMark speedup = %v, want > 1", sp)
+	}
+}

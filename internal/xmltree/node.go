@@ -1,0 +1,188 @@
+// Package xmltree implements the XML document model used throughout the
+// advisor: ordered trees of element, attribute, and text nodes with
+// document-order node identifiers, level numbers, and parent links.
+//
+// The model corresponds to the node storage of a native XML column in the
+// paper's substrate (DB2 9 pureXML). Every node in a document is assigned
+// a NodeID in document order, which is what path-value indexes store and
+// what the execution engine fetches.
+package xmltree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the node kinds stored in a document tree.
+type Kind uint8
+
+const (
+	// Element is an XML element node.
+	Element Kind = iota
+	// Attribute is an XML attribute node (a child of its owner element).
+	Attribute
+	// Text is a text node; it carries the character data of its parent.
+	Text
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Attribute:
+		return "attribute"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// NodeID identifies a node within a single document in document order.
+// IDs are dense: the root element has ID 0 and a document with n nodes
+// uses IDs 0..n-1. Document order comparisons reduce to integer
+// comparisons on NodeID.
+type NodeID int32
+
+// Node is a single node of a parsed XML document. Nodes are owned by
+// their Document and referenced by index; they must not be copied.
+type Node struct {
+	ID       NodeID
+	Kind     Kind
+	Name     string // element/attribute name; empty for text nodes
+	Value    string // attribute value or text content; empty for elements
+	Parent   NodeID // -1 for the root element
+	Level    int32  // root element is level 1
+	Children []NodeID
+	// EndID is the largest NodeID in this node's subtree, enabling O(1)
+	// ancestor/descendant tests: d is a descendant of a iff
+	// a.ID < d.ID <= a.EndID.
+	EndID NodeID
+}
+
+// IsDescendantOf reports whether n lies strictly below a in the tree,
+// using the (ID, EndID] interval encoding.
+func (n *Node) IsDescendantOf(a *Node) bool {
+	return a.ID < n.ID && n.ID <= a.EndID
+}
+
+// Document is a parsed XML document: a flat, document-ordered slice of
+// nodes. The zero value is an empty document.
+type Document struct {
+	// DocID is the identity of the document within its collection.
+	DocID int64
+	// Nodes holds every node in document order; Nodes[i].ID == i.
+	Nodes []Node
+}
+
+// Root returns the root element of the document, or nil if empty.
+func (d *Document) Root() *Node {
+	if len(d.Nodes) == 0 {
+		return nil
+	}
+	return &d.Nodes[0]
+}
+
+// Node returns the node with the given ID. It panics if id is out of
+// range, which indicates index corruption rather than a user error.
+func (d *Document) Node(id NodeID) *Node {
+	return &d.Nodes[id]
+}
+
+// Len returns the number of nodes in the document.
+func (d *Document) Len() int { return len(d.Nodes) }
+
+// TextOf returns the concatenated text content of the element subtree
+// rooted at id, in document order. For attribute and text nodes it
+// returns their value directly. This mirrors the typed-value extraction
+// an XML index performs when building keys.
+func (d *Document) TextOf(id NodeID) string {
+	n := d.Node(id)
+	switch n.Kind {
+	case Attribute, Text:
+		return n.Value
+	}
+	var sb strings.Builder
+	// All descendants occupy the contiguous ID range (id, EndID].
+	for i := n.ID + 1; i <= n.EndID; i++ {
+		c := &d.Nodes[i]
+		if c.Kind == Text {
+			sb.WriteString(c.Value)
+		}
+	}
+	return sb.String()
+}
+
+// NumericValue extracts the typed numeric value of the node, following
+// the XML Schema double lexical space (leading/trailing space trimmed).
+// ok is false when the content does not parse as a number.
+func (d *Document) NumericValue(id NodeID) (v float64, ok bool) {
+	s := strings.TrimSpace(d.TextOf(id))
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// LabelPath returns the rooted label path of the node, e.g.
+// "/Security/SecInfo/Sector" or "/Security/@id" for attributes.
+// Text nodes report their parent's path.
+func (d *Document) LabelPath(id NodeID) string {
+	n := d.Node(id)
+	if n.Kind == Text {
+		if n.Parent < 0 {
+			return "/"
+		}
+		return d.LabelPath(n.Parent)
+	}
+	var parts []string
+	for cur := n; ; {
+		label := cur.Name
+		if cur.Kind == Attribute {
+			label = "@" + label
+		}
+		parts = append(parts, label)
+		if cur.Parent < 0 {
+			break
+		}
+		cur = d.Node(cur.Parent)
+	}
+	var sb strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		sb.WriteByte('/')
+		sb.WriteString(parts[i])
+	}
+	return sb.String()
+}
+
+// ElementChildren returns the element-kind children of the node.
+func (d *Document) ElementChildren(id NodeID) []NodeID {
+	n := d.Node(id)
+	out := make([]NodeID, 0, len(n.Children))
+	for _, c := range n.Children {
+		if d.Nodes[c].Kind == Element {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// StorageBytes estimates the stored size of the document in bytes,
+// counting per-node overhead plus name and value bytes. The storage
+// layer and the statistics collector use this to size tables and
+// indexes consistently.
+func (d *Document) StorageBytes() int64 {
+	const perNodeOverhead = 16 // ID, kind, parent, level, child slots
+	var total int64
+	for i := range d.Nodes {
+		n := &d.Nodes[i]
+		total += perNodeOverhead + int64(len(n.Name)) + int64(len(n.Value))
+	}
+	return total
+}

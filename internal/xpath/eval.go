@@ -1,0 +1,201 @@
+package xpath
+
+import (
+	"sort"
+	"strings"
+
+	"xixa/internal/xmltree"
+)
+
+// Eval evaluates an absolute path against a document and returns the
+// matching node IDs in document order. Predicates use existential XPath
+// semantics: a comparison predicate holds if any node selected by its
+// relative path satisfies the comparison.
+func Eval(doc *xmltree.Document, p Path) []xmltree.NodeID {
+	if p.Relative {
+		root := doc.Root()
+		if root == nil {
+			return nil
+		}
+		return EvalFrom(doc, root.ID, p)
+	}
+	ctx := []xmltree.NodeID{} // virtual document node is represented implicitly
+	return evalSteps(doc, ctx, true, p.Steps)
+}
+
+// EvalFrom evaluates a relative path with the given context node.
+func EvalFrom(doc *xmltree.Document, ctx xmltree.NodeID, p Path) []xmltree.NodeID {
+	if !p.Relative {
+		return Eval(doc, p)
+	}
+	if len(p.Steps) == 0 {
+		return []xmltree.NodeID{ctx}
+	}
+	return evalSteps(doc, []xmltree.NodeID{ctx}, false, p.Steps)
+}
+
+// evalSteps advances the context set through each step. fromDoc marks
+// that the initial context is the document node (above the root).
+func evalSteps(doc *xmltree.Document, ctx []xmltree.NodeID, fromDoc bool, steps []Step) []xmltree.NodeID {
+	for si, st := range steps {
+		var next []xmltree.NodeID
+		seen := make(map[xmltree.NodeID]bool)
+		add := func(id xmltree.NodeID) {
+			if !seen[id] {
+				seen[id] = true
+				next = append(next, id)
+			}
+		}
+		if si == 0 && fromDoc {
+			root := doc.Root()
+			if root == nil {
+				return nil
+			}
+			switch st.Axis {
+			case Child:
+				if matchNode(doc, root.ID, st) {
+					add(root.ID)
+				}
+			case Descendant:
+				// Descendants of the document node: every node.
+				for i := 0; i < doc.Len(); i++ {
+					if matchNode(doc, xmltree.NodeID(i), st) {
+						add(xmltree.NodeID(i))
+					}
+				}
+			}
+		} else {
+			for _, c := range ctx {
+				n := doc.Node(c)
+				switch st.Axis {
+				case Child:
+					for _, ch := range n.Children {
+						if matchNode(doc, ch, st) {
+							add(ch)
+						}
+					}
+				case Descendant:
+					for i := n.ID + 1; i <= n.EndID; i++ {
+						if matchNode(doc, i, st) {
+							add(i)
+						}
+					}
+				}
+			}
+		}
+		// Apply predicates.
+		if len(st.Preds) > 0 {
+			filtered := next[:0]
+			for _, id := range next {
+				ok := true
+				for _, pr := range st.Preds {
+					if !evalPred(doc, id, pr) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					filtered = append(filtered, id)
+				}
+			}
+			next = filtered
+		}
+		ctx = next
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(ctx, func(i, j int) bool { return ctx[i] < ctx[j] })
+	return ctx
+}
+
+func matchNode(doc *xmltree.Document, id xmltree.NodeID, st Step) bool {
+	n := doc.Node(id)
+	switch n.Kind {
+	case xmltree.Text:
+		return false
+	case xmltree.Attribute:
+		if !st.IsAttribute() {
+			return false
+		}
+		return st.Test == "@*" || st.Test == "@"+n.Name
+	default:
+		if st.IsAttribute() {
+			return false
+		}
+		return st.Test == "*" || st.Test == n.Name
+	}
+}
+
+func evalPred(doc *xmltree.Document, ctx xmltree.NodeID, pr Pred) bool {
+	targets := EvalFrom(doc, ctx, pr.Rel)
+	if pr.Op == OpNone {
+		return len(targets) > 0
+	}
+	for _, t := range targets {
+		if CompareNodeValue(doc, t, pr.Op, pr.Lit) {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareNodeValue applies a typed comparison between a node's value and
+// a literal, following the general-comparison rules the optimizer also
+// uses when matching indexes: numeric literals force numeric comparison
+// (non-numeric node values never match), string literals compare
+// codepoint-wise.
+func CompareNodeValue(doc *xmltree.Document, id xmltree.NodeID, op CmpOp, lit Value) bool {
+	if lit.Kind == NumberVal {
+		v, ok := doc.NumericValue(id)
+		if !ok {
+			return false
+		}
+		return compareFloat(v, op, lit.Num)
+	}
+	s := strings.TrimSpace(doc.TextOf(id))
+	return compareString(s, op, lit.Str)
+}
+
+func compareFloat(a float64, op CmpOp, b float64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func compareString(a string, op CmpOp, b string) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// MatchesLabelPath reports whether a linear pattern matches a rooted
+// label path (labels from root to node, attributes spelled "@name").
+// Used by the statistics collector and the index builder.
+func MatchesLabelPath(p Path, labels []string) bool {
+	return compile(p).matchLabels(labels)
+}

@@ -1,0 +1,214 @@
+package xpath
+
+import (
+	"testing"
+
+	"xixa/internal/xmltree"
+)
+
+const testDoc = `
+<Security id="1914">
+  <Symbol>BCIIPRC</Symbol>
+  <Name>BlueChip Industries</Name>
+  <Yield>4.75</Yield>
+  <SecInfo>
+    <StockInformation>
+      <Sector>Energy</Sector>
+      <Industry>Oil</Industry>
+    </StockInformation>
+  </SecInfo>
+  <Price>
+    <Open>10.5</Open>
+    <Close>11.25</Close>
+  </Price>
+</Security>`
+
+func names(doc *xmltree.Document, ids []xmltree.NodeID) []string {
+	var out []string
+	for _, id := range ids {
+		n := doc.Node(id)
+		if n.Kind == xmltree.Attribute {
+			out = append(out, "@"+n.Name)
+		} else {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+func evalNames(t *testing.T, doc *xmltree.Document, expr string) []string {
+	t.Helper()
+	p, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	return names(doc, Eval(doc, p))
+}
+
+func TestEvalChildPaths(t *testing.T) {
+	doc := xmltree.MustParse(testDoc)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"/Security", 1},
+		{"/Security/Symbol", 1},
+		{"/Security/SecInfo/StockInformation/Sector", 1},
+		{"/Security/SecInfo/*/Sector", 1},
+		{"/Security/Missing", 0},
+		{"/Wrong", 0},
+		{"/Security/*", 5}, // Symbol, Name, Yield, SecInfo, Price
+		{"/Security/@id", 1},
+		{"/*", 1},
+	}
+	for _, tc := range cases {
+		p := MustParse(tc.expr)
+		got := Eval(doc, p)
+		if len(got) != tc.want {
+			t.Errorf("Eval(%q) = %v (%d nodes), want %d", tc.expr, names(doc, got), len(got), tc.want)
+		}
+	}
+}
+
+func TestEvalDescendant(t *testing.T) {
+	doc := xmltree.MustParse(testDoc)
+	if got := evalNames(t, doc, "//Sector"); len(got) != 1 || got[0] != "Sector" {
+		t.Errorf("//Sector = %v", got)
+	}
+	if got := evalNames(t, doc, "/Security//Sector"); len(got) != 1 {
+		t.Errorf("/Security//Sector = %v", got)
+	}
+	// //* matches every element.
+	all := evalNames(t, doc, "//*")
+	wantElems := 0
+	for i := 0; i < doc.Len(); i++ {
+		if doc.Node(xmltree.NodeID(i)).Kind == xmltree.Element {
+			wantElems++
+		}
+	}
+	if len(all) != wantElems {
+		t.Errorf("//* matched %d, want %d", len(all), wantElems)
+	}
+	// //@* matches every attribute.
+	if got := evalNames(t, doc, "//@*"); len(got) != 1 || got[0] != "@id" {
+		t.Errorf("//@* = %v", got)
+	}
+}
+
+func TestEvalPredicates(t *testing.T) {
+	doc := xmltree.MustParse(testDoc)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{`/Security[Yield>4.5]`, 1},
+		{`/Security[Yield>5]`, 0},
+		{`/Security[Yield>=4.75]`, 1},
+		{`/Security[Yield<4.75]`, 0},
+		{`/Security[Yield!=4.75]`, 0},
+		{`/Security[Symbol="BCIIPRC"]`, 1},
+		{`/Security[Symbol="OTHER"]`, 0},
+		{`/Security[SecInfo/*/Sector="Energy"]`, 1},
+		{`/Security[SecInfo/*/Sector="Tech"]`, 0},
+		{`/Security[SecInfo]`, 1},
+		{`/Security[Missing]`, 0},
+		{`/Security[Yield>4.5][Symbol="BCIIPRC"]`, 1},
+		{`/Security[Yield>4.5][Symbol="OTHER"]`, 0},
+		{`/Security[@id="1914"]`, 1},
+		{`/Security[@id="9"]`, 0},
+		{`/Security[Symbol>"AAA"]`, 1}, // string ordering
+		{`/Security[Symbol<"AAA"]`, 0},
+	}
+	for _, tc := range cases {
+		got := Eval(doc, MustParse(tc.expr))
+		if len(got) != tc.want {
+			t.Errorf("Eval(%q) matched %d nodes, want %d", tc.expr, len(got), tc.want)
+		}
+	}
+}
+
+func TestEvalNumericPredicateOnText(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b>hello</b><b>7</b></a>`)
+	got2 := Eval(doc, MustParse(`/a[b>5]`))
+	if len(got2) != 1 {
+		t.Errorf("/a[b>5] matched %d, want 1 (non-numeric b ignored)", len(got2))
+	}
+	got3 := Eval(doc, MustParse(`/a[b="hello"]`))
+	if len(got3) != 1 {
+		t.Errorf("/a[b=hello] matched %d, want 1", len(got3))
+	}
+}
+
+func TestEvalFromRelative(t *testing.T) {
+	doc := xmltree.MustParse(testDoc)
+	secInfo := Eval(doc, MustParse("/Security/SecInfo"))
+	if len(secInfo) != 1 {
+		t.Fatalf("SecInfo not found")
+	}
+	got := EvalFrom(doc, secInfo[0], MustParse("*/Sector"))
+	if len(got) != 1 {
+		t.Errorf("relative */Sector from SecInfo = %d nodes, want 1", len(got))
+	}
+	// Empty relative path returns the context itself.
+	self := EvalFrom(doc, secInfo[0], Path{Relative: true})
+	if len(self) != 1 || self[0] != secInfo[0] {
+		t.Errorf("empty relative path = %v", self)
+	}
+}
+
+func TestEvalDocumentOrderAndDedup(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b><c>1</c></b><b><c>2</c></b></a>`)
+	got := Eval(doc, MustParse("//c"))
+	if len(got) != 2 {
+		t.Fatalf("//c = %d nodes, want 2", len(got))
+	}
+	if !(got[0] < got[1]) {
+		t.Error("results not in document order")
+	}
+	// A path that could reach nodes twice must deduplicate:
+	// both /a//c and /a/b//c style overlaps.
+	got2 := Eval(doc, MustParse("/a//b//c"))
+	if len(got2) != 2 {
+		t.Errorf("/a//b//c = %d nodes, want 2 (dedup)", len(got2))
+	}
+}
+
+func TestEvalRecursiveElements(t *testing.T) {
+	// Recursive structure: part inside part.
+	doc := xmltree.MustParse(`<part><id>1</id><part><id>2</id><part><id>3</id></part></part></part>`)
+	if got := Eval(doc, MustParse("//part")); len(got) != 3 {
+		t.Errorf("//part = %d, want 3", len(got))
+	}
+	if got := Eval(doc, MustParse("/part/part")); len(got) != 1 {
+		t.Errorf("/part/part = %d, want 1", len(got))
+	}
+	if got := Eval(doc, MustParse("//part/id")); len(got) != 3 {
+		t.Errorf("//part/id = %d, want 3", len(got))
+	}
+}
+
+func TestMatchesLabelPath(t *testing.T) {
+	cases := []struct {
+		pattern string
+		labels  []string
+		want    bool
+	}{
+		{"/Security/Symbol", []string{"Security", "Symbol"}, true},
+		{"/Security/Symbol", []string{"Security", "Name"}, false},
+		{"/Security//*", []string{"Security", "SecInfo", "StockInformation", "Sector"}, true},
+		{"/Security//*", []string{"Security"}, false},
+		{"//Yield", []string{"Security", "Yield"}, true},
+		{"//Yield", []string{"Yield"}, true},
+		{"/Security/SecInfo/*/Sector", []string{"Security", "SecInfo", "StockInformation", "Sector"}, true},
+		{"/Security/SecInfo/*/Sector", []string{"Security", "SecInfo", "Sector"}, false},
+		{"/Security/@id", []string{"Security", "@id"}, true},
+		{"/Security/*", []string{"Security", "@id"}, false}, // * is elements only
+		{"/Security/@*", []string{"Security", "@id"}, true},
+	}
+	for _, tc := range cases {
+		p := MustParse(tc.pattern)
+		if got := MatchesLabelPath(p, tc.labels); got != tc.want {
+			t.Errorf("MatchesLabelPath(%q, %v) = %v, want %v", tc.pattern, tc.labels, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package xpath
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an XPath expression in the supported dialect. Absolute
+// paths start with '/' or '//'; anything else is parsed as a relative
+// path. Examples:
+//
+//	/Security/Symbol
+//	/Security[Yield>4.5]/Name
+//	/Security/SecInfo/*/Sector
+//	//Yield
+//	/Order/@id
+//	SecInfo/*/Sector        (relative)
+func Parse(input string) (Path, error) {
+	p := &parser{src: input}
+	path, err := p.parsePath()
+	if err != nil {
+		return Path{}, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return Path{}, pathErrorf("trailing input at offset %d in %q", p.pos, input)
+	}
+	return path, nil
+}
+
+// MustParse parses an expression and panics on error. For tests and
+// statically known literals.
+func MustParse(input string) Path {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePattern parses a linear index pattern: an absolute path with no
+// predicates, as accepted by the index DDL (paper §III).
+func ParsePattern(input string) (Path, error) {
+	p, err := Parse(input)
+	if err != nil {
+		return Path{}, err
+	}
+	if p.Relative {
+		return Path{}, pathErrorf("index pattern must be absolute: %q", input)
+	}
+	if !p.IsLinear() {
+		return Path{}, pathErrorf("index pattern must not contain predicates: %q", input)
+	}
+	return p, nil
+}
+
+// MustParsePattern is ParsePattern that panics on error.
+func MustParsePattern(input string) Path {
+	p, err := ParsePattern(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	for i, r := range p.src[p.pos:] {
+		if i == 0 {
+			if !isNameStart(r) {
+				return "", pathErrorf("expected name at offset %d in %q", p.pos, p.src)
+			}
+			continue
+		}
+		if !isNameChar(r) {
+			p.pos = start + i
+			return p.src[start:p.pos], nil
+		}
+	}
+	p.pos = len(p.src)
+	if p.pos == start {
+		return "", pathErrorf("expected name at offset %d in %q", start, p.src)
+	}
+	return p.src[start:], nil
+}
+
+func (p *parser) parsePath() (Path, error) {
+	p.skipSpace()
+	path := Path{}
+	if p.peek() == '/' {
+		path.Relative = false
+	} else if p.consume("./") {
+		// ".//" or "./" prefix on a relative path.
+		path.Relative = true
+		p.pos -= 1 // leave the '/' for the step loop
+	} else {
+		path.Relative = true
+		// First relative step has an implicit child axis.
+		st, err := p.parseStep(Child)
+		if err != nil {
+			return Path{}, err
+		}
+		path.Steps = append(path.Steps, st)
+	}
+	for {
+		p.skipSpace()
+		var axis Axis
+		if p.consume("//") {
+			axis = Descendant
+		} else if p.consume("/") {
+			axis = Child
+		} else {
+			break
+		}
+		st, err := p.parseStep(axis)
+		if err != nil {
+			return Path{}, err
+		}
+		path.Steps = append(path.Steps, st)
+	}
+	if len(path.Steps) == 0 {
+		return Path{}, pathErrorf("empty path in %q", p.src)
+	}
+	return path, nil
+}
+
+func (p *parser) parseStep(axis Axis) (Step, error) {
+	p.skipSpace()
+	st := Step{Axis: axis}
+	attr := false
+	if p.consume("@") {
+		attr = true
+	}
+	if p.consume("*") {
+		st.Test = "*"
+	} else {
+		name, err := p.parseName()
+		if err != nil {
+			return Step{}, err
+		}
+		st.Test = name
+	}
+	if attr {
+		st.Test = "@" + st.Test
+	}
+	for {
+		p.skipSpace()
+		if !p.consume("[") {
+			break
+		}
+		pred, err := p.parsePred()
+		if err != nil {
+			return Step{}, err
+		}
+		p.skipSpace()
+		if !p.consume("]") {
+			return Step{}, pathErrorf("expected ']' at offset %d in %q", p.pos, p.src)
+		}
+		st.Preds = append(st.Preds, pred)
+	}
+	return st, nil
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	p.skipSpace()
+	rel, err := p.parsePath()
+	if err != nil {
+		return Pred{}, err
+	}
+	if !rel.Relative {
+		return Pred{}, pathErrorf("predicate path must be relative at offset %d in %q", p.pos, p.src)
+	}
+	p.skipSpace()
+	op := p.parseOp()
+	if op == OpNone {
+		return Pred{Rel: rel}, nil
+	}
+	p.skipSpace()
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Pred{}, err
+	}
+	return Pred{Rel: rel, Op: op, Lit: lit}, nil
+}
+
+func (p *parser) parseOp() CmpOp {
+	switch {
+	case p.consume("!="):
+		return OpNe
+	case p.consume("<="):
+		return OpLe
+	case p.consume(">="):
+		return OpGe
+	case p.consume("="):
+		return OpEq
+	case p.consume("<"):
+		return OpLt
+	case p.consume(">"):
+		return OpGt
+	}
+	return OpNone
+}
+
+func (p *parser) parseLiteral() (Value, error) {
+	if p.peek() == '"' || p.peek() == '\'' {
+		quote := p.peek()
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.eof() {
+			return Value{}, pathErrorf("unterminated string literal in %q", p.src)
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return StringValue(s), nil
+	}
+	start := p.pos
+	if p.peek() == '-' || p.peek() == '+' {
+		p.pos++
+	}
+	for !p.eof() && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+		p.pos++
+	}
+	// Optional exponent: e.g. 1.99e+10.
+	if !p.eof() && (p.src[p.pos] == 'e' || p.src[p.pos] == 'E') {
+		save := p.pos
+		p.pos++
+		if !p.eof() && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+			p.pos++
+		}
+		digits := false
+		for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+			digits = true
+		}
+		if !digits {
+			p.pos = save
+		}
+	}
+	if p.pos == start {
+		return Value{}, pathErrorf("expected literal at offset %d in %q", start, p.src)
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return Value{}, pathErrorf("bad numeric literal %q in %q", p.src[start:p.pos], p.src)
+	}
+	return NumberValue(f), nil
+}

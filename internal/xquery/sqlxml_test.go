@@ -1,0 +1,80 @@
+package xquery
+
+import (
+	"testing"
+
+	"xixa/internal/xpath"
+)
+
+func TestSQLXMLBasic(t *testing.T) {
+	s, err := Parse(`SELECT * FROM SECURITY WHERE XMLEXISTS('$SDOC/Security[Symbol="BCIIPRC"]' PASSING SDOC)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Kind != Query || s.Table != "SECURITY" {
+		t.Errorf("kind/table = %v %q", s.Kind, s.Table)
+	}
+	if got := s.Binding.String(); got != `/Security[Symbol="BCIIPRC"]` {
+		t.Errorf("binding = %q", got)
+	}
+	// The SQL/XML form must expose the same normalized path — and thus
+	// the same index candidates — as the FLWOR form of Q1.
+	flwor := MustParse(`for $sec in SECURITY('SDOC')/Security where $sec/Symbol = "BCIIPRC" return $sec`)
+	if s.NormalizedPath().String() != flwor.NormalizedPath().String() {
+		t.Errorf("SQL/XML normalized %q != FLWOR %q",
+			s.NormalizedPath().String(), flwor.NormalizedPath().String())
+	}
+}
+
+func TestSQLXMLWithoutVariablePrefix(t *testing.T) {
+	s, err := Parse(`select * from orders where xmlexists('/Order[Quantity>100]' passing ODOC)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Table != "ORDERS" {
+		t.Errorf("table = %q (case normalization)", s.Table)
+	}
+	if got := s.Binding.String(); got != "/Order[Quantity>100]" {
+		t.Errorf("binding = %q", got)
+	}
+}
+
+func TestSQLXMLMultiplePredicates(t *testing.T) {
+	s, err := Parse(`SELECT * FROM SECURITY WHERE ` +
+		`XMLEXISTS('$SDOC/Security[Yield>4.5]' PASSING SDOC) AND ` +
+		`XMLEXISTS('$SDOC/Security[Symbol="A"]' PASSING SDOC)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := s.NormalizedPath().String(); got != `/Security[Yield>4.5][Symbol="A"]` {
+		t.Errorf("merged binding = %q", got)
+	}
+	sites := 0
+	for _, st := range s.NormalizedPath().Steps {
+		for _, pr := range st.Preds {
+			if pr.Op != xpath.OpNone {
+				sites++
+			}
+		}
+	}
+	if sites != 2 {
+		t.Errorf("predicate sites = %d, want 2", sites)
+	}
+}
+
+func TestSQLXMLErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * FROM SECURITY`,                                       // no WHERE
+		`SELECT * FROM SECURITY WHERE Symbol = 'A'`,                    // no XMLEXISTS
+		`SELECT * FROM SECURITY WHERE XMLEXISTS(Security)`,             // unquoted
+		`SELECT * FROM SECURITY WHERE XMLEXISTS('Security' PASSING S)`, // relative path
+		`SELECT * FROM`,
+		`SELECT * FROM SECURITY WHERE XMLEXISTS('$S/a' PASSING X) AND XMLEXISTS('$S/b' PASSING X)`, // different roots
+		`SELECT * FROM SECURITY WHERE XMLEXISTS('$SDOC' PASSING SDOC)`,                             // var without path
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}

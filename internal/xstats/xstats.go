@@ -1,0 +1,298 @@
+// Package xstats implements the statistics substrate (the RUNSTATS
+// analog of the paper's §III): a path synopsis per table recording, for
+// every distinct rooted label path in the data, the node count, distinct
+// values, value bytes, and numeric value distribution.
+//
+// The optimizer's cost model estimates selectivities from these
+// statistics, and the advisor derives virtual-index statistics (size,
+// levels, entries) from them — exactly the role RUNSTATS output plays
+// for DB2's virtual indexes in the paper.
+package xstats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"xixa/internal/btree"
+	"xixa/internal/storage"
+	"xixa/internal/xmltree"
+	"xixa/internal/xpath"
+)
+
+// PathStat aggregates the nodes sharing one rooted label path.
+type PathStat struct {
+	// Labels is the rooted label path, e.g. ["Security","SecInfo","Sector"].
+	// Attribute labels are spelled "@name".
+	Labels []string
+	// Count is the number of nodes with this label path.
+	Count int64
+	// DistinctStrings is the number of distinct string values.
+	DistinctStrings int64
+	// ValueBytes is the total size of all (string) values.
+	ValueBytes int64
+	// NumericCount is how many values parse as numbers.
+	NumericCount int64
+	// DistinctNums is the number of distinct numeric values.
+	DistinctNums int64
+	// Min and Max bound the numeric values (valid when NumericCount > 0).
+	Min, Max float64
+	// Hist is the equi-width histogram of numeric values (nil when the
+	// path has none).
+	Hist *Histogram
+}
+
+// Path returns the rendered label path, e.g. "/Security/SecInfo/Sector".
+func (p *PathStat) Path() string {
+	return "/" + strings.Join(p.Labels, "/")
+}
+
+// TableStats is the collected synopsis of one table.
+type TableStats struct {
+	Table      string
+	Version    int64 // table version at collection time
+	DocCount   int64
+	TotalNodes int64
+	// Paths maps rendered label paths to their statistics.
+	Paths map[string]*PathStat
+	// List holds the same PathStats sorted by path for deterministic
+	// iteration.
+	List []*PathStat
+
+	mu           sync.Mutex
+	patternCache map[string]PatternStats
+}
+
+// Collect walks every document of the table and builds its synopsis.
+// This is the system's RUNSTATS.
+func Collect(t *storage.Table) *TableStats {
+	ts := &TableStats{
+		Table:        t.Name,
+		Version:      t.Version(),
+		Paths:        make(map[string]*PathStat),
+		patternCache: make(map[string]PatternStats),
+	}
+	distinctStr := make(map[string]map[string]struct{})
+	distinctNum := make(map[string]map[float64]struct{})
+	numSamples := make(map[string][]float64)
+
+	t.Scan(func(doc *xmltree.Document) bool {
+		ts.DocCount++
+		ts.TotalNodes += int64(doc.Len())
+		var labels []string
+		var walk func(id xmltree.NodeID)
+		walk = func(id xmltree.NodeID) {
+			n := doc.Node(id)
+			label := n.Name
+			if n.Kind == xmltree.Attribute {
+				label = "@" + label
+			}
+			labels = append(labels, label)
+			key := "/" + strings.Join(labels, "/")
+			ps := ts.Paths[key]
+			if ps == nil {
+				ps = &PathStat{Labels: append([]string(nil), labels...)}
+				ts.Paths[key] = ps
+				distinctStr[key] = make(map[string]struct{})
+				distinctNum[key] = make(map[float64]struct{})
+			}
+			ps.Count++
+			val := strings.TrimSpace(doc.TextOf(id))
+			ps.ValueBytes += int64(len(val))
+			if _, seen := distinctStr[key][val]; !seen {
+				distinctStr[key][val] = struct{}{}
+				ps.DistinctStrings++
+			}
+			if f, ok := doc.NumericValue(id); ok {
+				if ps.NumericCount == 0 {
+					ps.Min, ps.Max = f, f
+				} else {
+					ps.Min = math.Min(ps.Min, f)
+					ps.Max = math.Max(ps.Max, f)
+				}
+				ps.NumericCount++
+				numSamples[key] = append(numSamples[key], f)
+				if _, seen := distinctNum[key][f]; !seen {
+					distinctNum[key][f] = struct{}{}
+					ps.DistinctNums++
+				}
+			}
+			for _, c := range n.Children {
+				if doc.Node(c).Kind != xmltree.Text {
+					walk(c)
+				}
+			}
+			labels = labels[:len(labels)-1]
+		}
+		if doc.Root() != nil {
+			walk(doc.Root().ID)
+		}
+		return true
+	})
+
+	ts.List = make([]*PathStat, 0, len(ts.Paths))
+	for key, ps := range ts.Paths {
+		if samples := numSamples[key]; len(samples) > 0 {
+			ps.Hist = newHistogram(ps.Min, ps.Max, samples)
+		}
+		ts.List = append(ts.List, ps)
+	}
+	sort.Slice(ts.List, func(i, j int) bool { return ts.List[i].Path() < ts.List[j].Path() })
+	return ts
+}
+
+// AvgNodesPerDoc returns the mean document size in nodes.
+func (ts *TableStats) AvgNodesPerDoc() float64 {
+	if ts.DocCount == 0 {
+		return 0
+	}
+	return float64(ts.TotalNodes) / float64(ts.DocCount)
+}
+
+// PatternStats is the derived statistics of a (possibly virtual) index
+// on a linear pattern — what the paper derives from RUNSTATS data for
+// its virtual indexes: size, number of levels, entry counts, and the
+// value distribution inputs of the cost model.
+type PatternStats struct {
+	// Entries is the number of index entries (nodes matched by the
+	// pattern; for numeric indexes only numeric-valued nodes count).
+	Entries int64
+	// KeyBytes is the total encoded key size.
+	KeyBytes int64
+	// Distinct is the number of distinct keys (approximated by summing
+	// per-path distinct counts; an upper bound).
+	Distinct int64
+	// Min and Max bound numeric keys (numeric indexes only).
+	Min, Max float64
+	// Hist is the merged numeric-value histogram (nil for string
+	// patterns or when no numeric values matched).
+	Hist *Histogram
+	// SizeBytes is the estimated on-disk size of the index.
+	SizeBytes int64
+	// Levels is the estimated number of B+-tree levels.
+	Levels int
+}
+
+// EntriesPerDoc returns the mean number of index entries per document.
+func (ts *TableStats) EntriesPerDoc(p PatternStats) float64 {
+	if ts.DocCount == 0 {
+		return 0
+	}
+	return float64(p.Entries) / float64(ts.DocCount)
+}
+
+// numericKeyBytes is the encoded size of a double key (tag + 8 bytes),
+// mirroring xindex's key encoding.
+const numericKeyBytes = 9
+
+// ForPattern aggregates the synopsis over all label paths matched by the
+// linear pattern, producing the statistics a virtual index on that
+// pattern would have. Results are memoized per (pattern, kind).
+func (ts *TableStats) ForPattern(p xpath.Path, kind xpath.ValueKind) PatternStats {
+	key := p.StripPreds().String() + "|" + kind.String()
+	ts.mu.Lock()
+	if ps, ok := ts.patternCache[key]; ok {
+		ts.mu.Unlock()
+		return ps
+	}
+	ts.mu.Unlock()
+
+	var out PatternStats
+	first := true
+	for _, st := range ts.List {
+		if !xpath.MatchesLabelPath(p, st.Labels) {
+			continue
+		}
+		if kind == xpath.NumberVal {
+			out.Entries += st.NumericCount
+			out.KeyBytes += st.NumericCount * numericKeyBytes
+			out.Distinct += st.DistinctNums
+			if st.NumericCount > 0 {
+				if first {
+					out.Min, out.Max = st.Min, st.Max
+					first = false
+				} else {
+					out.Min = math.Min(out.Min, st.Min)
+					out.Max = math.Max(out.Max, st.Max)
+				}
+				out.Hist = out.Hist.merge(st.Hist)
+			}
+		} else {
+			out.Entries += st.Count
+			// +1 per key for the type tag byte used by the key encoding.
+			out.KeyBytes += st.ValueBytes + st.Count
+			out.Distinct += st.DistinctStrings
+		}
+	}
+	out.SizeBytes = btree.EstimateSizeBytes(int(out.Entries), out.KeyBytes, 0)
+	out.Levels = btree.EstimateLevels(int(out.Entries), 0)
+
+	ts.mu.Lock()
+	ts.patternCache[key] = out
+	ts.mu.Unlock()
+	return out
+}
+
+// Selectivity estimates the fraction of index entries satisfying a
+// comparison against a literal, using a uniformity assumption over the
+// distinct values (equality) or the numeric range (inequalities) — the
+// standard System-R style estimators the DB2 cost model also applies.
+func (p PatternStats) Selectivity(op xpath.CmpOp, lit xpath.Value) float64 {
+	if p.Entries == 0 {
+		return 0
+	}
+	distinct := float64(p.Distinct)
+	if distinct < 1 {
+		distinct = 1
+	}
+	eq := 1 / distinct
+	switch op {
+	case xpath.OpEq:
+		return eq
+	case xpath.OpNe:
+		return clamp01(1 - eq)
+	}
+	// Range operators: use the histogram when available, falling back
+	// to a min/max uniformity assumption.
+	if lit.Kind == xpath.NumberVal {
+		if p.Hist != nil && p.Hist.Total > 0 {
+			switch op {
+			case xpath.OpLt:
+				return clamp01(p.Hist.FractionBelow(lit.Num, false))
+			case xpath.OpLe:
+				return clamp01(p.Hist.FractionBelow(lit.Num, true))
+			case xpath.OpGt:
+				return clamp01(1 - p.Hist.FractionBelow(lit.Num, true))
+			case xpath.OpGe:
+				return clamp01(1 - p.Hist.FractionBelow(lit.Num, false))
+			}
+		}
+		span := p.Max - p.Min
+		if span <= 0 {
+			// Degenerate distribution: everything equal; a range either
+			// takes all or nothing, assume half as a neutral default.
+			return 0.5
+		}
+		var frac float64
+		switch op {
+		case xpath.OpLt, xpath.OpLe:
+			frac = (lit.Num - p.Min) / span
+		case xpath.OpGt, xpath.OpGe:
+			frac = (p.Max - lit.Num) / span
+		}
+		return clamp01(frac)
+	}
+	// String ranges: no order statistics kept; use the classic 1/3.
+	return 1.0 / 3.0
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
