@@ -203,6 +203,76 @@ func BenchmarkAblationCalls(b *testing.B) {
 	}
 }
 
+// --- parallel advisor pipeline ---
+
+// parallelBenchWorkload is the 30-query random workload used by the
+// parallelism benchmarks: large enough that the fan-out dominates the
+// per-item scheduling overhead.
+func parallelBenchWorkload(b *testing.B, e *experiments.Env) *workload.Workload {
+	b.Helper()
+	w, err := workload.ParseStatements(tpox.SyntheticQueries(e.DB, 30, 130))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// benchmarkParallelEvaluate measures whole-configuration benefit
+// evaluation — the advisor's hottest loop — at a fixed fan-out width.
+// The sub-configuration cache is disabled so every iteration performs
+// the full set of Evaluate Indexes calls instead of returning memoized
+// benefits.
+func benchmarkParallelEvaluate(b *testing.B, parallelism int) {
+	e := benchEnv(b)
+	w := parallelBenchWorkload(b, e)
+	opts := core.DefaultOptions()
+	opts.Parallelism = parallelism
+	opts.DisableSubConfigCache = true
+	adv, err := core.New(e.DB, e.Opt, e.Stats, w, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := adv.AllIndexConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv.Evaluator().ConfigBenefit(all)
+	}
+}
+
+// BenchmarkParallelEvaluate contrasts the serial evaluation path
+// (Parallelism: 1, the paper's pipeline) with the parallel one
+// (Parallelism: GOMAXPROCS). Both produce bit-identical benefits; the
+// parallel path should win by ~min(cores, affected statements).
+func BenchmarkParallelEvaluate(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkParallelEvaluate(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkParallelEvaluate(b, 0) })
+}
+
+// benchmarkParallelEnumerate measures advisor construction — candidate
+// enumeration, generalization, and baseline costing — at a fixed
+// fan-out width. Enumeration and baseline costing fan out;
+// generalization is inherently serial, so the end-to-end speedup is
+// sublinear.
+func benchmarkParallelEnumerate(b *testing.B, parallelism int) {
+	e := benchEnv(b)
+	w := parallelBenchWorkload(b, e)
+	opts := core.DefaultOptions()
+	opts.Parallelism = parallelism
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(e.DB, e.Opt, e.Stats, w, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelEnumerate contrasts serial and parallel advisor
+// construction over the 30-query workload.
+func BenchmarkParallelEnumerate(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkParallelEnumerate(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkParallelEnumerate(b, 0) })
+}
+
 // --- substrate microbenchmarks ---
 
 func BenchmarkXPathEval(b *testing.B) {

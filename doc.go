@@ -23,6 +23,25 @@
 //   - internal/experiments — regenerates every table and figure of the
 //     paper's evaluation.
 //
+// # Performance and concurrency
+//
+// The advisor pipeline is parallel end to end, controlled by
+// core.Options.Parallelism: 0 (the default) fans independent optimizer
+// calls — candidate enumeration, baseline costing, and benefit
+// evaluation — out across runtime.GOMAXPROCS(0) workers, while 1 runs
+// the paper's exact serial pipeline. Parallel loops reduce per-item
+// results in ordinal order, so recommendations, benefits, and the
+// OptimizerCalls count are bit-for-bit identical at every width. The
+// benefit Evaluator is safe for concurrent searches sharing one
+// advisor: its §VI-C sub-configuration cache is sharded behind
+// RWMutexes and its counters are atomic.
+//
+// Independently, optimizer.EnablePlanCache (core.Options.PlanCacheSize)
+// adds a bounded LRU memo of Evaluate Indexes results. Cache hits skip
+// plan selection and are elided from the optimizer's EvaluateCalls
+// counter, so the cache stays off by default and is forced off under
+// the ablation options that audit optimizer-call counts.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory,
-// and EXPERIMENTS.md for the paper-vs-measured comparison.
+// and EXPERIMENTS.md for regenerating the paper's evaluation.
 package xixa

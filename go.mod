@@ -1,0 +1,3 @@
+module xixa
+
+go 1.22

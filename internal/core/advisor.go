@@ -45,6 +45,17 @@ type Options struct {
 	// for every workload statement instead of only affected ones
 	// (ablation).
 	DisableAffectedSets bool
+	// Parallelism caps the number of goroutines the advisor fans
+	// optimizer calls out on (candidate enumeration, baseline costing,
+	// benefit evaluation). 0 selects runtime.GOMAXPROCS(0); 1
+	// reproduces the serial pipeline exactly — results are bit-for-bit
+	// identical at every level either way, only wall-clock changes.
+	Parallelism int
+	// PlanCacheSize bounds the optimizer's memoized plan cache
+	// (entries). 0 — the default — leaves the cache off. The cache is
+	// forced off whenever an ablation flag is set, so the
+	// OptimizerCalls accounting in Recommendation stays exact.
+	PlanCacheSize int
 }
 
 // DefaultOptions returns the paper's settings.
@@ -73,6 +84,15 @@ func New(db *storage.Database, opt *optimizer.Optimizer, stats map[string]*xstat
 		return nil, fmt.Errorf("core: empty workload")
 	}
 	a := &Advisor{DB: db, Opt: opt, Stats: stats, Opts: opts, W: w}
+	switch {
+	case opts.DisableSubConfigCache || opts.DisableAffectedSets:
+		// Ablations audit the optimizer-call counters, which plan-cache
+		// hits elide — force the cache off even if another advisor on
+		// this optimizer enabled it.
+		opt.DisablePlanCache()
+	case opts.PlanCacheSize > 0:
+		opt.EnablePlanCache(opts.PlanCacheSize)
+	}
 	cs, err := a.enumerateBasic(w)
 	if err != nil {
 		return nil, err
@@ -118,7 +138,12 @@ type Recommendation struct {
 	// Benefit is the estimated workload benefit of the configuration
 	// (paper §III formula, maintenance cost included).
 	Benefit float64
-	// OptimizerCalls is the number of Evaluate Indexes calls consumed.
+	// OptimizerCalls is the number of Evaluate Indexes calls consumed,
+	// measured as the delta of the optimizer's shared call counter. It
+	// is exact — and identical at every Parallelism level — when the
+	// optimizer serves only this search; searches running concurrently
+	// on the same optimizer remain correct but blur each other's
+	// per-recommendation attribution.
 	OptimizerCalls int64
 	// Elapsed is the advisor run time for this search.
 	Elapsed time.Duration
@@ -223,20 +248,22 @@ func (a *Advisor) Evaluator() *Evaluator { return a.eval }
 // generalization-to-unseen-queries experiments (paper Fig. 4/5): train
 // on a prefix, score on the full workload.
 func (a *Advisor) WorkloadCostUnder(defs []xindex.Definition) float64 {
-	total := 0.0
-	for _, item := range a.W.Items {
+	costs := make([]float64, len(a.W.Items))
+	a.parallelFor(len(a.W.Items), func(i int) {
+		item := a.W.Items[i]
 		plan, err := a.Opt.EvaluateIndexes(item.Stmt, defs)
 		if err != nil {
-			continue
+			return
 		}
-		total += float64(item.Freq) * plan.EstCost
+		c := float64(item.Freq) * plan.EstCost
 		if item.Stmt.Kind != xquery.Query {
 			for _, def := range defs {
-				total += float64(item.Freq) * a.Opt.MaintenanceCost(def, item.Stmt)
+				c += float64(item.Freq) * a.Opt.MaintenanceCost(def, item.Stmt)
 			}
 		}
-	}
-	return total
+		costs[i] = c
+	})
+	return sumInOrder(costs)
 }
 
 // SpeedupUnder is the estimated workload speedup of an arbitrary

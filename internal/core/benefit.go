@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"xixa/internal/xindex"
 	"xixa/internal/xquery"
@@ -23,39 +24,42 @@ import (
 // the paper's §III formula. (We scale mc by freq_s as well: mc is a
 // per-execution cost, and a statement occurring freq times performs
 // maintenance freq times.)
+//
+// The evaluator is safe for concurrent use: the sub-configuration cache
+// is sharded behind RWMutexes, the hit counter is atomic, and the
+// evaluation loops only write into per-call slices. Independent
+// sub-configuration groups and the per-statement optimizer calls inside
+// a group are fanned out across Options.Parallelism workers.
 type Evaluator struct {
 	a *Advisor
 	// baseCost[i] is the no-index cost of statement i times its
 	// frequency.
 	baseCost []float64
 	// subCache maps a sub-configuration key to its query benefit.
-	subCache map[string]float64
+	subCache *benefitCache
 	// CacheHits counts sub-configuration cache hits (ablation metric).
-	CacheHits int64
+	CacheHits atomic.Int64
 }
 
 func newEvaluator(a *Advisor) *Evaluator {
-	e := &Evaluator{a: a, subCache: make(map[string]float64)}
+	e := &Evaluator{a: a, subCache: newBenefitCache()}
 	e.baseCost = make([]float64, a.W.Len())
-	for i, item := range a.W.Items {
+	a.parallelFor(a.W.Len(), func(i int) {
+		item := a.W.Items[i]
 		plan, err := a.Opt.EvaluateIndexes(item.Stmt, nil)
 		if err != nil {
 			// Statements over unknown tables cost nothing and gain
 			// nothing; they simply never contribute benefit.
-			continue
+			return
 		}
 		e.baseCost[i] = float64(item.Freq) * plan.EstCost
-	}
+	})
 	return e
 }
 
 // BaselineCost is the total workload cost with no indexes.
 func (e *Evaluator) BaselineCost() float64 {
-	total := 0.0
-	for _, c := range e.baseCost {
-		total += c
-	}
-	return total
+	return sumInOrder(e.baseCost)
 }
 
 // ConfigBenefit returns the benefit of a configuration over the empty
@@ -75,27 +79,86 @@ func (e *Evaluator) WorkloadCost(cfg []*Candidate) float64 {
 
 // StandaloneBenefit returns (and caches) the benefit of the candidate
 // alone, used by plain greedy, top-down lite, and DP — the searches
-// that ignore index interaction.
+// that ignore index interaction. The once-guard makes concurrent
+// searches sharing an advisor race-free.
 func (e *Evaluator) StandaloneBenefit(c *Candidate) float64 {
-	if c.standaloneSet {
-		return c.standalone
-	}
-	c.standalone = e.ConfigBenefit([]*Candidate{c})
-	c.standaloneSet = true
+	c.standaloneOnce.Do(func() {
+		c.standalone = e.ConfigBenefit([]*Candidate{c})
+	})
 	return c.standalone
 }
 
 // queryBenefit computes Σ freq·(s_old − s_new) using the affected-set
-// and sub-configuration machinery.
+// and sub-configuration machinery. The cache is probed per group, then
+// the optimizer calls of every uncached group are flattened into one
+// task list and fanned out together — a single parallelFor at maximal
+// width instead of nested group/statement pools. Gains are reduced per
+// group in statement order and groups are summed in group order, so
+// the float result is identical at every Parallelism level.
 func (e *Evaluator) queryBenefit(cfg []*Candidate) float64 {
 	if e.a.Opts.DisableAffectedSets {
 		return e.evaluateGroupAllStatements(cfg)
 	}
-	total := 0.0
-	for _, group := range splitSubConfigs(cfg) {
-		total += e.evaluateGroup(group)
+	groups := splitSubConfigs(cfg)
+	useCache := !e.a.Opts.DisableSubConfigCache
+	benefits := make([]float64, len(groups))
+	cached := make([]bool, len(groups))
+	keys := make([]string, len(groups))
+	defsOf := make([][]xindex.Definition, len(groups))
+
+	// One task per (uncached group, affected statement).
+	type evalTask struct {
+		group int
+		ord   int
 	}
-	return total
+	var tasks []evalTask
+	starts := make([]int, len(groups))
+	ends := make([]int, len(groups))
+	for gi, group := range groups {
+		keys[gi] = groupKey(group)
+		if useCache {
+			if b, ok := e.subCache.get(keys[gi]); ok {
+				e.CacheHits.Add(1)
+				benefits[gi] = b
+				cached[gi] = true
+				continue
+			}
+		}
+		affected := NewBitSet(e.a.W.Len())
+		defs := make([]xindex.Definition, len(group))
+		for i, c := range group {
+			affected.Or(c.Affected)
+			defs[i] = c.Def
+		}
+		defsOf[gi] = defs
+		starts[gi] = len(tasks)
+		for _, ord := range affected.Elements() {
+			tasks = append(tasks, evalTask{group: gi, ord: ord})
+		}
+		ends[gi] = len(tasks)
+	}
+
+	gains := make([]float64, len(tasks))
+	e.a.parallelFor(len(tasks), func(k int) {
+		t := tasks[k]
+		item := e.a.W.Items[t.ord]
+		plan, err := e.a.Opt.EvaluateIndexes(item.Stmt, defsOf[t.group])
+		if err != nil {
+			return
+		}
+		gains[k] = e.baseCost[t.ord] - float64(item.Freq)*plan.EstCost
+	})
+
+	for gi := range groups {
+		if cached[gi] {
+			continue
+		}
+		benefits[gi] = sumInOrder(gains[starts[gi]:ends[gi]])
+		if useCache {
+			e.subCache.put(keys[gi], benefits[gi])
+		}
+	}
+	return sumInOrder(benefits)
 }
 
 // splitSubConfigs groups candidates whose affected sets overlap
@@ -150,40 +213,6 @@ func groupKey(group []*Candidate) string {
 	return strings.Join(ids, ",")
 }
 
-// evaluateGroup computes the query benefit of one sub-configuration,
-// calling the optimizer only for the union of the group's affected
-// statements, with caching.
-func (e *Evaluator) evaluateGroup(group []*Candidate) float64 {
-	key := groupKey(group)
-	if !e.a.Opts.DisableSubConfigCache {
-		if b, ok := e.subCache[key]; ok {
-			e.CacheHits++
-			return b
-		}
-	}
-	affected := NewBitSet(e.a.W.Len())
-	for _, c := range group {
-		affected.Or(c.Affected)
-	}
-	defs := make([]xindex.Definition, len(group))
-	for i, c := range group {
-		defs[i] = c.Def
-	}
-	benefit := 0.0
-	for _, ord := range affected.Elements() {
-		item := e.a.W.Items[ord]
-		plan, err := e.a.Opt.EvaluateIndexes(item.Stmt, defs)
-		if err != nil {
-			continue
-		}
-		benefit += e.baseCost[ord] - float64(item.Freq)*plan.EstCost
-	}
-	if !e.a.Opts.DisableSubConfigCache {
-		e.subCache[key] = benefit
-	}
-	return benefit
-}
-
 // evaluateGroupAllStatements is the naive evaluation used when affected
 // sets are disabled (ablation): every statement is re-optimized.
 func (e *Evaluator) evaluateGroupAllStatements(cfg []*Candidate) float64 {
@@ -191,15 +220,16 @@ func (e *Evaluator) evaluateGroupAllStatements(cfg []*Candidate) float64 {
 	for i, c := range cfg {
 		defs[i] = c.Def
 	}
-	benefit := 0.0
-	for ord, item := range e.a.W.Items {
+	gains := make([]float64, len(e.a.W.Items))
+	e.a.parallelFor(len(e.a.W.Items), func(ord int) {
+		item := e.a.W.Items[ord]
 		plan, err := e.a.Opt.EvaluateIndexes(item.Stmt, defs)
 		if err != nil {
-			continue
+			return
 		}
-		benefit += e.baseCost[ord] - float64(item.Freq)*plan.EstCost
-	}
-	return benefit
+		gains[ord] = e.baseCost[ord] - float64(item.Freq)*plan.EstCost
+	})
+	return sumInOrder(gains)
 }
 
 // maintenanceCost sums mc over the workload's data-modifying statements

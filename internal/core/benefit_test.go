@@ -80,7 +80,7 @@ func TestSubConfigCacheReducesOptimizerCalls(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			a.eval.ConfigBenefit(all)
 		}
-		return a.Opt.EvaluateCalls(), a.eval.CacheHits
+		return a.Opt.EvaluateCalls(), a.eval.CacheHits.Load()
 	}
 	cachedCalls, hits := mk(DefaultOptions())
 	uncachedCalls, _ := mk(Options{Beta: 0.10, DisableSubConfigCache: true})

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"xixa/internal/workload"
 	"xixa/internal/xindex"
@@ -37,9 +38,10 @@ type Candidate struct {
 	Children []*Candidate
 
 	// standalone caches the candidate's standalone benefit; managed by
-	// the evaluator.
-	standalone    float64
-	standaloneSet bool
+	// the evaluator. The once-guard makes the lazy computation safe
+	// when concurrent searches share an advisor.
+	standaloneOnce sync.Once
+	standalone     float64
 }
 
 // String renders the candidate like the paper's tables.
@@ -96,18 +98,31 @@ func (cs *CandidateSet) Roots() []*Candidate {
 
 // enumerateBasic asks the optimizer (Enumerate Indexes mode) for the
 // basic candidates of every workload statement and records affected
-// sets and site keys.
+// sets and site keys. The per-statement Enumerate Indexes calls are
+// independent, so they fan out across the advisor's workers; the
+// results are merged serially in statement order, which keeps candidate
+// IDs (and everything downstream of them) identical at every
+// Parallelism level.
 func (a *Advisor) enumerateBasic(w *workload.Workload) (*CandidateSet, error) {
-	cs := &CandidateSet{byKey: make(map[string]*Candidate)}
-	for ord, item := range w.Items {
+	type enumResult struct {
+		defs []xindex.Definition
+		err  error
+	}
+	results := make([]enumResult, w.Len())
+	a.parallelFor(w.Len(), func(ord int) {
+		item := w.Items[ord]
 		if item.Stmt.Kind == xquery.Insert {
-			continue // inserts expose no indexable patterns
+			return // inserts expose no indexable patterns
 		}
 		defs, err := a.Opt.EnumerateIndexes(item.Stmt)
-		if err != nil {
-			return nil, err
+		results[ord] = enumResult{defs: defs, err: err}
+	})
+	cs := &CandidateSet{byKey: make(map[string]*Candidate)}
+	for ord, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		for _, def := range defs {
+		for _, def := range r.defs {
 			c, ok := cs.byKey[def.Key()]
 			if !ok {
 				stats := a.statsFor(def)

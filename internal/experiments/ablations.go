@@ -30,6 +30,7 @@ func AblationCalls(w io.Writer, env *Env) (*AblationCallsResult, error) {
 		if err != nil {
 			return 0, 0, err
 		}
+		opts.Parallelism = env.Parallelism
 		adv, err := core.New(env.DB, env.Opt, env.Stats, wl, opts)
 		if err != nil {
 			return 0, 0, err
@@ -39,7 +40,7 @@ func AblationCalls(w io.Writer, env *Env) (*AblationCallsResult, error) {
 		if _, err := adv.Recommend(core.AlgoHeuristic, budget); err != nil {
 			return 0, 0, err
 		}
-		return env.Opt.EvaluateCalls(), adv.Evaluator().CacheHits, nil
+		return env.Opt.EvaluateCalls(), adv.Evaluator().CacheHits.Load(), nil
 	}
 	res := &AblationCallsResult{}
 	var err error
@@ -79,7 +80,8 @@ func AblationBeta(w io.Writer, env *Env) ([]AblationBetaRow, error) {
 	fmt.Fprintf(w, "  %6s %10s %14s %12s\n", "beta", "generals", "benefit", "size")
 	var rows []AblationBetaRow
 	for _, beta := range []float64{0, 0.05, 0.10, 0.25, 0.50, 1.00} {
-		adv, err := core.New(env.DB, env.Opt, env.Stats, wl, core.Options{Beta: beta})
+		adv, err := core.New(env.DB, env.Opt, env.Stats, wl,
+			core.Options{Beta: beta, Parallelism: env.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -151,8 +153,10 @@ type XMarkResult struct {
 }
 
 // XMark runs the advisor pipeline on the XMark-lite workload (the
-// paper's tech-report experiment) at budget = All-Index size.
-func XMark(w io.Writer, scale int) (*XMarkResult, error) {
+// paper's tech-report experiment) at budget = All-Index size. It
+// builds its own database and optimizer (no Env), so the advisor
+// fan-out width is passed explicitly.
+func XMark(w io.Writer, scale, parallelism int) (*XMarkResult, error) {
 	db, err := xmark.NewDatabase(scale)
 	if err != nil {
 		return nil, err
@@ -163,7 +167,9 @@ func XMark(w io.Writer, scale int) (*XMarkResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	adv, err := core.New(db, opt, stats, wl, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Parallelism = parallelism
+	adv, err := core.New(db, opt, stats, wl, opts)
 	if err != nil {
 		return nil, err
 	}

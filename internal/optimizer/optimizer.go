@@ -95,6 +95,10 @@ type Optimizer struct {
 
 	enumerateCalls atomic.Int64
 	evaluateCalls  atomic.Int64
+
+	// planCache, when non-nil, memoizes Evaluate Indexes results (see
+	// plancache.go). Off unless EnablePlanCache is called.
+	planCache atomic.Pointer[planCache]
 }
 
 // New creates an optimizer over a database with collected statistics.
@@ -216,7 +220,25 @@ func (o *Optimizer) EnumerateIndexes(stmt *xquery.Statement) ([]xindex.Definitio
 // the given virtual index configuration, optimizes the statement, and
 // returns the chosen plan with its estimated cost (paper §III). A nil
 // configuration yields the no-index baseline cost.
+//
+// With the plan cache enabled (EnablePlanCache), a repeated
+// (statement, configuration) pair returns the memoized plan without
+// re-optimizing and without incrementing EvaluateCalls; the returned
+// plan is shared and must be treated as read-only.
 func (o *Optimizer) EvaluateIndexes(stmt *xquery.Statement, config []xindex.Definition) (*Plan, error) {
+	if pc := o.planCache.Load(); pc != nil {
+		key := planKey(stmt.Raw, config)
+		if p, ok := pc.get(key); ok {
+			return p, nil
+		}
+		o.evaluateCalls.Add(1)
+		p, err := o.plan(stmt, config)
+		if err != nil {
+			return nil, err
+		}
+		pc.put(key, p)
+		return p, nil
+	}
 	o.evaluateCalls.Add(1)
 	return o.plan(stmt, config)
 }

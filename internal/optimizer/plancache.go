@@ -1,0 +1,121 @@
+package optimizer
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xixa/internal/xindex"
+)
+
+// planCache is a bounded, concurrency-safe LRU memo of Evaluate Indexes
+// results, keyed by (statement fingerprint, canonical configuration
+// key). It exists for advisor-style clients that re-optimize the same
+// (statement, virtual configuration) pairs across searches: a hit
+// returns the previously chosen plan without running plan selection —
+// and without counting an Evaluate Indexes call, which is why the cache
+// is off by default and must never be enabled under the ablation
+// options that audit the call counter.
+//
+// Cached *Plan values are shared across callers and must be treated as
+// read-only, which every in-repo caller honors (they only read EstCost
+// and Accesses).
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type planCacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *planCache) get(key string) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*planCacheEntry).plan, true
+}
+
+func (c *planCache) put(key string, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*planCacheEntry).plan = p
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&planCacheEntry{key: key, plan: p})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planCacheEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// planKey fingerprints one Evaluate Indexes call: the statement's raw
+// text (statements are immutable after parse) plus the canonical key of
+// the virtual configuration, order-insensitive.
+func planKey(raw string, config []xindex.Definition) string {
+	keys := make([]string, len(config))
+	for i, d := range config {
+		keys[i] = d.Key()
+	}
+	sort.Strings(keys)
+	return raw + "\x00" + strings.Join(keys, ";")
+}
+
+// EnablePlanCache turns on the memoized plan cache with the given
+// capacity in entries; a capacity <= 0 turns it off. Enabling the cache
+// makes repeated identical Evaluate Indexes calls free but elides them
+// from EvaluateCalls, so experiments that audit optimizer-call counts
+// (the §VI-C ablations) must leave it off. Safe to call concurrently
+// with optimization, though normally done once at setup.
+func (o *Optimizer) EnablePlanCache(capacity int) {
+	if capacity <= 0 {
+		o.planCache.Store(nil)
+		return
+	}
+	o.planCache.Store(newPlanCache(capacity))
+}
+
+// DisablePlanCache turns the memoized plan cache off and drops its
+// contents.
+func (o *Optimizer) DisablePlanCache() { o.planCache.Store(nil) }
+
+// PlanCacheStats reports the plan cache's hit/miss counters and current
+// size; zeros when the cache is disabled.
+func (o *Optimizer) PlanCacheStats() (hits, misses int64, size int) {
+	pc := o.planCache.Load()
+	if pc == nil {
+		return 0, 0, 0
+	}
+	return pc.hits.Load(), pc.misses.Load(), pc.len()
+}

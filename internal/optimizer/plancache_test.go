@@ -1,0 +1,142 @@
+package optimizer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xixa/internal/xindex"
+	"xixa/internal/xpath"
+	"xixa/internal/xquery"
+)
+
+func TestPlanCacheHitsElideEvaluateCalls(t *testing.T) {
+	_, opt := newFixture(t, 300)
+	stmt := xquery.MustParse(oq2)
+	cfg := []xindex.Definition{
+		defOf("/Security/Yield", xpath.NumberVal),
+		defOf("/Security/SecInfo/*/Sector", xpath.StringVal),
+	}
+
+	opt.EnablePlanCache(64)
+	defer opt.DisablePlanCache()
+
+	first, err := opt.EvaluateIndexes(stmt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := opt.EvaluateCalls()
+	for i := 0; i < 5; i++ {
+		p, err := opt.EvaluateIndexes(stmt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.EstCost != first.EstCost {
+			t.Fatalf("cached plan cost %v != original %v", p.EstCost, first.EstCost)
+		}
+	}
+	if got := opt.EvaluateCalls(); got != calls {
+		t.Errorf("cache hits incremented EvaluateCalls: %d -> %d", calls, got)
+	}
+	hits, misses, size := opt.PlanCacheStats()
+	if hits != 5 || misses == 0 || size == 0 {
+		t.Errorf("PlanCacheStats = (%d, %d, %d), want 5 hits and nonzero misses/size", hits, misses, size)
+	}
+}
+
+func TestPlanCacheKeyIsConfigOrderInsensitive(t *testing.T) {
+	_, opt := newFixture(t, 300)
+	stmt := xquery.MustParse(oq2)
+	a := defOf("/Security/Yield", xpath.NumberVal)
+	b := defOf("/Security/SecInfo/*/Sector", xpath.StringVal)
+
+	opt.EnablePlanCache(64)
+	defer opt.DisablePlanCache()
+
+	if _, err := opt.EvaluateIndexes(stmt, []xindex.Definition{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	calls := opt.EvaluateCalls()
+	if _, err := opt.EvaluateIndexes(stmt, []xindex.Definition{b, a}); err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.EvaluateCalls(); got != calls {
+		t.Error("reordered configuration missed the plan cache")
+	}
+}
+
+func TestPlanCacheBoundedLRU(t *testing.T) {
+	c := newPlanCache(2)
+	p := &Plan{}
+	c.put("a", p)
+	c.put("b", p)
+	if _, ok := c.get("a"); !ok { // touch a: b is now least recent
+		t.Fatal("entry a missing")
+	}
+	c.put("c", p) // evicts b
+	if c.len() != 2 {
+		t.Fatalf("cache size = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry a evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("newest entry c evicted")
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	_, opt := newFixture(t, 300)
+	opt.EnablePlanCache(8) // smaller than the working set: forces eviction under load
+	defer opt.DisablePlanCache()
+	stmts := []*xquery.Statement{
+		xquery.MustParse(oq1),
+		xquery.MustParse(oq2),
+		xquery.MustParse(`SECURITY('SDOC')/Security[PE<12.0]`),
+	}
+	configs := [][]xindex.Definition{
+		nil,
+		{defOf("/Security/Symbol", xpath.StringVal)},
+		{defOf("/Security/Yield", xpath.NumberVal)},
+		{defOf("/Security/Symbol", xpath.StringVal), defOf("/Security/Yield", xpath.NumberVal)},
+	}
+	want := make(map[string]float64)
+	for si, stmt := range stmts {
+		for ci, cfg := range configs {
+			p, err := opt.EvaluateIndexes(stmt, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[fmt.Sprintf("%d/%d", si, ci)] = p.EstCost
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				si := (g + i) % len(stmts)
+				ci := i % len(configs)
+				p, err := opt.EvaluateIndexes(stmts[si], configs[ci])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := want[fmt.Sprintf("%d/%d", si, ci)]; p.EstCost != got {
+					errs <- fmt.Errorf("cost %v != expected %v", p.EstCost, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

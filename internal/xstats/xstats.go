@@ -60,7 +60,10 @@ type TableStats struct {
 	// iteration.
 	List []*PathStat
 
-	mu           sync.Mutex
+	// mu guards patternCache. A read-write lock because ForPattern is
+	// on the optimizer's hot path and, once warm, is all cache hits —
+	// parallel advisor pipelines would otherwise serialize here.
+	mu           sync.RWMutex
 	patternCache map[string]PatternStats
 }
 
@@ -191,12 +194,12 @@ const numericKeyBytes = 9
 // pattern would have. Results are memoized per (pattern, kind).
 func (ts *TableStats) ForPattern(p xpath.Path, kind xpath.ValueKind) PatternStats {
 	key := p.StripPreds().String() + "|" + kind.String()
-	ts.mu.Lock()
+	ts.mu.RLock()
 	if ps, ok := ts.patternCache[key]; ok {
-		ts.mu.Unlock()
+		ts.mu.RUnlock()
 		return ps
 	}
-	ts.mu.Unlock()
+	ts.mu.RUnlock()
 
 	var out PatternStats
 	first := true
