@@ -20,6 +20,7 @@ import (
 	"xixa/internal/xindex"
 	"xixa/internal/xpath"
 	"xixa/internal/xquery"
+	"xixa/internal/xstats"
 )
 
 var (
@@ -377,6 +378,75 @@ func BenchmarkStatsCollect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		optimizer.CollectStats(e.DB)
+	}
+}
+
+// BenchmarkCollectStats measures the single-pass RUNSTATS analog on one
+// TPoX-scale table (the per-table unit the advisor pipeline pays).
+func BenchmarkCollectStats(b *testing.B) {
+	e := benchEnv(b)
+	tbl, err := e.DB.Table(tpox.TableSecurity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xstats.Collect(tbl)
+	}
+}
+
+// BenchmarkForPatternCold measures virtual-index statistics derivation
+// with cold caches: each iteration collects fresh table statistics
+// (outside the timer) and then derives PatternStats for a pattern mix,
+// so every ForPattern call pays the dictionary match instead of a memo
+// hit.
+func BenchmarkForPatternCold(b *testing.B) {
+	e := benchEnv(b)
+	tbl, err := e.DB.Table(tpox.TableSecurity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := []xpath.Path{
+		xpath.MustParsePattern("/Security/Symbol"),
+		xpath.MustParsePattern("/Security/Yield"),
+		xpath.MustParsePattern("/Security/SecInfo/*/Sector"),
+		xpath.MustParsePattern("/Security//Sector"),
+		xpath.MustParsePattern("//*"),
+		xpath.MustParsePattern("//@*"),
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ts := xstats.Collect(tbl)
+		b.StartTimer()
+		for _, p := range patterns {
+			ts.ForPattern(p, xpath.StringVal)
+			ts.ForPattern(p, xpath.NumberVal)
+		}
+	}
+}
+
+// BenchmarkEvaluateCompiled measures one Evaluate Indexes what-if call
+// against a warm compiled statement — the unit cost the §VI search pays
+// thousands of times. The configuration mixes matching and
+// non-matching indexes like a real search configuration does.
+func BenchmarkEvaluateCompiled(b *testing.B) {
+	e := benchEnv(b)
+	stmt := xquery.MustParse(tpox.Queries()[tpox.PaperQ2])
+	cfg := []xindex.Definition{
+		{Table: tpox.TableSecurity, Pattern: xpath.MustParsePattern("/Security/Yield"), Type: xpath.NumberVal},
+		{Table: tpox.TableSecurity, Pattern: xpath.MustParsePattern("/Security/SecInfo/*/Sector"), Type: xpath.StringVal},
+		{Table: tpox.TableSecurity, Pattern: xpath.MustParsePattern("/Security/Symbol"), Type: xpath.StringVal},
+		{Table: tpox.TableSecurity, Pattern: xpath.MustParsePattern("/Security//Sector"), Type: xpath.StringVal},
+		{Table: tpox.TableSecurity, Pattern: xpath.MustParsePattern("/Security/@id"), Type: xpath.StringVal},
+	}
+	if _, err := e.Opt.EvaluateIndexes(stmt, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Opt.EvaluateIndexes(stmt, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -21,9 +21,14 @@ import (
 	"xixa/internal/xquery"
 )
 
-// Catalog holds the materialized indexes available for execution.
+// Catalog holds the materialized indexes available for execution. The
+// catalog maintains its indexes sorted by definition key, so the
+// per-statement listing calls (Definitions, ForTable, TotalSizeBytes)
+// iterate a ready-sorted slice instead of re-sorting on every call.
 type Catalog struct {
 	indexes map[string]*xindex.Index
+	keys    []string        // sorted definition keys
+	sorted  []*xindex.Index // indexes aligned with keys
 }
 
 // NewCatalog returns an empty catalog.
@@ -33,15 +38,31 @@ func NewCatalog() *Catalog {
 
 // Add registers a built index.
 func (c *Catalog) Add(idx *xindex.Index) {
-	c.indexes[idx.Def.Key()] = idx
+	key := idx.Def.Key()
+	pos := sort.SearchStrings(c.keys, key)
+	if _, exists := c.indexes[key]; exists {
+		c.sorted[pos] = idx
+	} else {
+		c.keys = append(c.keys, "")
+		copy(c.keys[pos+1:], c.keys[pos:])
+		c.keys[pos] = key
+		c.sorted = append(c.sorted, nil)
+		copy(c.sorted[pos+1:], c.sorted[pos:])
+		c.sorted[pos] = idx
+	}
+	c.indexes[key] = idx
 }
 
 // Drop removes an index by definition, reporting whether it existed.
 func (c *Catalog) Drop(def xindex.Definition) bool {
-	if _, ok := c.indexes[def.Key()]; !ok {
+	key := def.Key()
+	if _, ok := c.indexes[key]; !ok {
 		return false
 	}
-	delete(c.indexes, def.Key())
+	delete(c.indexes, key)
+	pos := sort.SearchStrings(c.keys, key)
+	c.keys = append(c.keys[:pos], c.keys[pos+1:]...)
+	c.sorted = append(c.sorted[:pos], c.sorted[pos+1:]...)
 	return true
 }
 
@@ -53,14 +74,9 @@ func (c *Catalog) Get(def xindex.Definition) (*xindex.Index, bool) {
 
 // Definitions lists the catalog's definitions in deterministic order.
 func (c *Catalog) Definitions() []xindex.Definition {
-	keys := make([]string, 0, len(c.indexes))
-	for k := range c.indexes {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]xindex.Definition, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, c.indexes[k].Def)
+	out := make([]xindex.Definition, len(c.sorted))
+	for i, idx := range c.sorted {
+		out[i] = idx.Def
 	}
 	return out
 }
@@ -68,9 +84,9 @@ func (c *Catalog) Definitions() []xindex.Definition {
 // ForTable returns the indexes on one table.
 func (c *Catalog) ForTable(table string) []*xindex.Index {
 	var out []*xindex.Index
-	for _, def := range c.Definitions() {
-		if def.Table == table {
-			out = append(out, c.indexes[def.Key()])
+	for _, idx := range c.sorted {
+		if idx.Def.Table == table {
+			out = append(out, idx)
 		}
 	}
 	return out
@@ -79,8 +95,8 @@ func (c *Catalog) ForTable(table string) []*xindex.Index {
 // TotalSizeBytes sums the materialized index sizes.
 func (c *Catalog) TotalSizeBytes() int64 {
 	var total int64
-	for _, def := range c.Definitions() {
-		total += c.indexes[def.Key()].SizeBytes()
+	for _, idx := range c.sorted {
+		total += idx.SizeBytes()
 	}
 	return total
 }
@@ -354,13 +370,18 @@ func trimFloat(f float64) string {
 }
 
 // cloneDoc deep-copies a document so repeated inserts do not alias.
+// The clone shares the source's (append-only) path dictionary and
+// copies its PathIDs, so insertion only needs to rebase them.
 func cloneDoc(d *xmltree.Document) *xmltree.Document {
-	out := &xmltree.Document{Nodes: make([]xmltree.Node, len(d.Nodes))}
+	out := &xmltree.Document{Nodes: make([]xmltree.Node, len(d.Nodes)), Dict: d.Dict}
 	copy(out.Nodes, d.Nodes)
 	for i := range out.Nodes {
 		if len(d.Nodes[i].Children) > 0 {
 			out.Nodes[i].Children = append([]xmltree.NodeID(nil), d.Nodes[i].Children...)
 		}
+	}
+	if len(d.PathIDs) > 0 {
+		out.PathIDs = append([]xmltree.PathID(nil), d.PathIDs...)
 	}
 	return out
 }

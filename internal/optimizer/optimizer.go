@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"xixa/internal/storage"
@@ -95,6 +96,15 @@ type Optimizer struct {
 
 	enumerateCalls atomic.Int64
 	evaluateCalls  atomic.Int64
+
+	// compiled caches one CompiledStatement per statement (see
+	// compiled.go): the extracted sites, per-site statistics, and base
+	// cost are configuration-invariant, so the thousands of Evaluate
+	// Indexes calls a search issues reduce to arithmetic over the
+	// configuration. compiledLen approximates the entry count for the
+	// overflow flush.
+	compiled    sync.Map // *xquery.Statement -> *CompiledStatement
+	compiledLen atomic.Int64
 
 	// planCache, when non-nil, memoizes Evaluate Indexes results (see
 	// plancache.go). Off unless EnablePlanCache is called.
@@ -194,10 +204,11 @@ func universalIndexes(table string) []xindex.Definition {
 // statement's basic candidate indexes.
 func (o *Optimizer) EnumerateIndexes(stmt *xquery.Statement) ([]xindex.Definition, error) {
 	o.enumerateCalls.Add(1)
-	if _, err := o.tableStats(stmt.Table); err != nil {
+	cs, err := o.Compile(stmt)
+	if err != nil {
 		return nil, err
 	}
-	sites := ExtractSites(stmt)
+	sites := cs.sites
 	var out []xindex.Definition
 	seen := make(map[string]bool)
 	for _, site := range sites {
@@ -245,20 +256,21 @@ func (o *Optimizer) EvaluateIndexes(stmt *xquery.Statement, config []xindex.Defi
 
 // plan is shared by EvaluateIndexes (virtual configs) and the engine
 // (real configs): choose the cheapest access plan under the given index
-// definitions.
+// definitions. All statement-invariant quantities come precomputed from
+// the compiled statement; per call only the configuration is walked.
 func (o *Optimizer) plan(stmt *xquery.Statement, config []xindex.Definition) (*Plan, error) {
 	ts, err := o.tableStats(stmt.Table)
 	if err != nil {
 		return nil, err
 	}
-	base := o.baseCost(stmt, ts)
+	cs := o.compile(stmt, ts)
+	base := cs.baseCost
 	p := &Plan{Stmt: stmt, EstCost: base, EstBaseCost: base}
 
 	if stmt.Kind == xquery.Insert {
 		return p, nil // inserts never use indexes
 	}
-	sites := ExtractSites(stmt)
-	if len(sites) == 0 || len(config) == 0 {
+	if len(cs.sites) == 0 || len(config) == 0 {
 		return p, nil
 	}
 
@@ -268,27 +280,21 @@ func (o *Optimizer) plan(stmt *xquery.Statement, config []xindex.Definition) (*P
 		cost   float64 // probe cost of this access alone
 	}
 	var choices []choice
-	for _, site := range sites {
+	for si, site := range cs.sites {
 		best := choice{cost: math.Inf(1)}
 		found := false
 		for _, def := range config {
-			if def.Table != stmt.Table || !def.Matches(site.Pattern, site.Lit.Kind) {
+			if def.Table != stmt.Table {
 				continue
 			}
-			idxStats := ts.ForPattern(def.Pattern, def.Type)
-			if idxStats.Entries == 0 {
+			ev := cs.siteEvalFor(si, def)
+			if !ev.ok {
 				continue
 			}
-			sel := idxStats.Selectivity(site.Op, site.Lit)
-			entries := sel * float64(idxStats.Entries)
-			probe := float64(idxStats.Levels)*CostPerIndexPage + entries*CostPerIndexEntry
-			// Document fraction surviving this site's filter, estimated
-			// from the site pattern's own statistics.
-			docFrac := o.siteDocFraction(site, ts)
-			if probe < best.cost {
+			if ev.probe < best.cost {
 				best = choice{
-					access: Access{Site: site, Index: def, EntriesScanned: entries, DocFraction: docFrac},
-					cost:   probe,
+					access: Access{Site: site, Index: def, EntriesScanned: ev.entries, DocFraction: cs.siteDocFrac[si]},
+					cost:   ev.probe,
 				}
 				found = true
 			}
@@ -316,7 +322,7 @@ func (o *Optimizer) plan(stmt *xquery.Statement, config []xindex.Definition) (*P
 	for _, ch := range choices {
 		newProbe := curCost + ch.cost
 		newFrac := docFrac * ch.access.DocFraction
-		total := o.indexPlanCost(stmt, ts, newProbe, newFrac)
+		total := o.indexPlanCost(cs, newProbe, newFrac)
 		if total < bestCost {
 			accesses = append(accesses, ch.access)
 			bestCost = total
@@ -331,66 +337,24 @@ func (o *Optimizer) plan(stmt *xquery.Statement, config []xindex.Definition) (*P
 	return p, nil
 }
 
-// baseCost is the full-scan cost of the statement.
-func (o *Optimizer) baseCost(stmt *xquery.Statement, ts *xstats.TableStats) float64 {
-	switch stmt.Kind {
-	case xquery.Insert:
-		n := 0.0
-		if stmt.Doc != nil {
-			n = float64(stmt.Doc.Len())
-		}
-		return CostStatementOverhead + n*CostPerModifiedNode
-	case xquery.Delete, xquery.Update:
-		// Find matching documents by scan, then modify them.
-		modified := o.estimateMatchingDocs(stmt, ts)
-		return CostStatementOverhead + float64(ts.TotalNodes)*CostPerScannedNode +
-			modified*ts.AvgNodesPerDoc()*CostPerModifiedNode
-	default:
-		return CostStatementOverhead + float64(ts.TotalNodes)*CostPerScannedNode +
-			o.resultCost(stmt, ts)
-	}
-}
-
 // indexPlanCost combines probe costs with the fetch-and-verify phase.
-func (o *Optimizer) indexPlanCost(stmt *xquery.Statement, ts *xstats.TableStats, probeCost, docFrac float64) float64 {
-	candidateDocs := docFrac * float64(ts.DocCount)
-	fetch := candidateDocs * ts.AvgNodesPerDoc() * CostPerFetchedNode
+func (o *Optimizer) indexPlanCost(cs *CompiledStatement, probeCost, docFrac float64) float64 {
+	candidateDocs := docFrac * cs.docCount
+	fetch := candidateDocs * cs.avgNodes * CostPerFetchedNode
 	cost := CostStatementOverhead + probeCost + fetch
-	switch stmt.Kind {
+	switch cs.kind {
 	case xquery.Delete, xquery.Update:
-		modified := o.estimateMatchingDocs(stmt, ts)
-		cost += modified * ts.AvgNodesPerDoc() * CostPerModifiedNode
+		cost += cs.matchingDocs * cs.avgNodes * CostPerModifiedNode
 	default:
-		cost += o.resultCost(stmt, ts)
+		cost += cs.resultCost
 	}
 	return cost
-}
-
-// resultCost estimates the cost of emitting the statement's results.
-func (o *Optimizer) resultCost(stmt *xquery.Statement, ts *xstats.TableStats) float64 {
-	return o.estimateMatchingDocs(stmt, ts) * CostPerResultNode * math.Max(1, float64(len(stmt.Returns)))
-}
-
-// siteDocFraction estimates the fraction of documents that satisfy one
-// predicate site: with perDoc matching nodes per document each passing
-// the comparison with probability sel, the expected number of passing
-// nodes per document is sel*perDoc, and P(at least one) is approximated
-// by min(1, sel*perDoc).
-func (o *Optimizer) siteDocFraction(site PredSite, ts *xstats.TableStats) float64 {
-	siteStats := ts.ForPattern(site.Pattern, site.Lit.Kind)
-	sel := siteStats.Selectivity(site.Op, site.Lit)
-	perDoc := ts.EntriesPerDoc(siteStats)
-	return clamp01(sel * perDoc)
 }
 
 // estimateMatchingDocs estimates how many documents satisfy all of the
 // statement's predicates (independence assumption).
 func (o *Optimizer) estimateMatchingDocs(stmt *xquery.Statement, ts *xstats.TableStats) float64 {
-	frac := 1.0
-	for _, site := range ExtractSites(stmt) {
-		frac *= o.siteDocFraction(site, ts)
-	}
-	return frac * float64(ts.DocCount)
+	return o.compile(stmt, ts).matchingDocs
 }
 
 func clamp01(f float64) float64 {

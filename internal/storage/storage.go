@@ -20,6 +20,13 @@ import (
 type Table struct {
 	Name string
 
+	// dict is the table's shared path dictionary (structural summary):
+	// every document inserted into the table is rebased onto it, so a
+	// PathID means the same rooted label path across all documents. The
+	// statistics collector and the index builder key their work by these
+	// IDs instead of re-deriving label paths per node.
+	dict *xmltree.PathDict
+
 	mu      sync.RWMutex
 	docs    map[int64]*xmltree.Document
 	order   []int64 // insertion order for deterministic scans
@@ -31,13 +38,18 @@ type Table struct {
 
 // NewTable creates an empty table.
 func NewTable(name string) *Table {
-	return &Table{Name: name, docs: make(map[int64]*xmltree.Document)}
+	return &Table{Name: name, dict: xmltree.NewPathDict(), docs: make(map[int64]*xmltree.Document)}
 }
 
-// Insert stores a document and returns its assigned document ID.
+// PathDict returns the table's shared path dictionary.
+func (t *Table) PathDict() *xmltree.PathDict { return t.dict }
+
+// Insert stores a document and returns its assigned document ID. The
+// document's paths are interned into the table's shared dictionary.
 func (t *Table) Insert(doc *xmltree.Document) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	doc.InternPaths(t.dict)
 	id := t.nextID
 	t.nextID++
 	doc.DocID = id

@@ -110,7 +110,7 @@ func collectSamples(db *storage.Database, maxDocs int) []pathSample {
 							labels: append([]string(nil), labels...),
 							value:  strings.TrimSpace(doc.TextOf(id)),
 						}
-						if f, ok := doc.NumericValue(id); ok {
+						if f, ok := xmltree.ParseNumeric(s.value); ok {
 							s.numeric, s.num = true, f
 						}
 						out = append(out, s)

@@ -99,6 +99,17 @@ func EncodeKey(kind xpath.ValueKind, str string, num float64) []byte {
 type Index struct {
 	Def  Definition
 	tree *btree.Tree
+
+	// dict is the owning table's path dictionary; matched[pid] reports
+	// whether the pattern matches the interned path, and states holds
+	// the per-path NFA state sets so the matched set extends
+	// incrementally when inserts grow the dictionary. The pattern is
+	// matched against the (tiny) dictionary instead of evaluating it
+	// per node per document.
+	matcher *xpath.PathMatcher
+	dict    *xmltree.PathDict
+	matched []bool
+	states  []xpath.MatchState
 }
 
 // Build creates and populates an index over the current contents of the
@@ -112,6 +123,12 @@ func Build(t *storage.Table, def Definition) (*Index, error) {
 		return nil, fmt.Errorf("xindex: definition targets table %q, got %q", def.Table, t.Name)
 	}
 	idx := &Index{Def: def, tree: btree.MustNewTree(0)}
+	if xpath.CompilablePattern(def.Pattern) {
+		// Patterns beyond the NFA state budget (never produced by the
+		// advisor) keep the per-document evaluation fallback.
+		idx.matcher = xpath.NewPathMatcher(def.Pattern)
+		idx.dict = t.PathDict()
+	}
 	t.Scan(func(doc *xmltree.Document) bool {
 		idx.insertDoc(doc)
 		return true
@@ -119,48 +136,88 @@ func Build(t *storage.Table, def Definition) (*Index, error) {
 	return idx, nil
 }
 
+// ensureMatched extends the matched-path set to cover every dictionary
+// entry, threading the pattern NFA parent→child over the new entries.
+func (x *Index) ensureMatched() []bool {
+	snap := x.dict.Snapshot()
+	if len(x.matched) < len(snap) {
+		x.states = x.matcher.ExtendStates(snap, x.states)
+		for i := len(x.matched); i < len(snap); i++ {
+			x.matched = append(x.matched, x.matcher.Matched(x.states[i]))
+		}
+	}
+	return x.matched
+}
+
 // matchingNodes returns the nodes of the document reachable by the
-// index pattern.
+// index pattern. The path-evaluation fallback only runs for documents
+// that do not share the table dictionary.
 func (x *Index) matchingNodes(doc *xmltree.Document) []xmltree.NodeID {
 	return xpath.Eval(doc, x.Def.Pattern)
 }
 
 func (x *Index) keyFor(doc *xmltree.Document, id xmltree.NodeID) ([]byte, bool) {
+	// Extract the node text once; the numeric key parses the same
+	// string rather than re-walking the subtree.
+	s := strings.TrimSpace(doc.TextOf(id))
 	if x.Def.Type == xpath.NumberVal {
-		v, ok := doc.NumericValue(id)
+		v, ok := xmltree.ParseNumeric(s)
 		if !ok {
 			return nil, false
 		}
 		return EncodeKey(xpath.NumberVal, "", v), true
 	}
-	return EncodeKey(xpath.StringVal, strings.TrimSpace(doc.TextOf(id)), 0), true
+	return EncodeKey(xpath.StringVal, s, 0), true
+}
+
+// eachMatch visits every node of the document the index pattern
+// reaches. Documents interned against the table dictionary are scanned
+// linearly against the precomputed matched-path set; others fall back
+// to pattern evaluation.
+func (x *Index) eachMatch(doc *xmltree.Document, visit func(id xmltree.NodeID)) {
+	if doc.Dict == x.dict && x.dict != nil && len(doc.PathIDs) == doc.Len() {
+		matched := x.ensureMatched()
+		for i := range doc.Nodes {
+			if doc.Nodes[i].Kind == xmltree.Text {
+				continue
+			}
+			pid := doc.PathIDs[i]
+			if pid >= 0 && int(pid) < len(matched) && matched[pid] {
+				visit(xmltree.NodeID(i))
+			}
+		}
+		return
+	}
+	for _, id := range x.matchingNodes(doc) {
+		visit(id)
+	}
 }
 
 func (x *Index) insertDoc(doc *xmltree.Document) int {
 	added := 0
-	for _, id := range x.matchingNodes(doc) {
+	x.eachMatch(doc, func(id xmltree.NodeID) {
 		key, ok := x.keyFor(doc, id)
 		if !ok {
-			continue
+			return
 		}
 		if x.tree.Insert(key, packRef(Ref{Doc: doc.DocID, Node: id})) {
 			added++
 		}
-	}
+	})
 	return added
 }
 
 func (x *Index) deleteDoc(doc *xmltree.Document) int {
 	removed := 0
-	for _, id := range x.matchingNodes(doc) {
+	x.eachMatch(doc, func(id xmltree.NodeID) {
 		key, ok := x.keyFor(doc, id)
 		if !ok {
-			continue
+			return
 		}
 		if x.tree.Delete(key, packRef(Ref{Doc: doc.DocID, Node: id})) {
 			removed++
 		}
-	}
+	})
 	return removed
 }
 

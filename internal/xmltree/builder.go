@@ -13,7 +13,7 @@ type Builder struct {
 
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder {
-	return &Builder{doc: &Document{}}
+	return &Builder{doc: &Document{Dict: NewPathDict()}}
 }
 
 func (b *Builder) push(n Node) NodeID {
@@ -21,14 +21,21 @@ func (b *Builder) push(n Node) NodeID {
 	n.ID = id
 	n.EndID = id
 	b.doc.Nodes = append(b.doc.Nodes, n)
+	parentPath := NoPath
 	if len(b.stack) > 0 {
 		parent := b.stack[len(b.stack)-1]
 		b.doc.Nodes[parent].Children = append(b.doc.Nodes[parent].Children, id)
 		b.doc.Nodes[id].Parent = parent
 		b.doc.Nodes[id].Level = b.doc.Nodes[parent].Level + 1
+		parentPath = b.doc.PathIDs[parent]
 	} else {
 		b.doc.Nodes[id].Parent = -1
 		b.doc.Nodes[id].Level = 1
+	}
+	if n.Kind == Text {
+		b.doc.PathIDs = append(b.doc.PathIDs, parentPath)
+	} else {
+		b.doc.PathIDs = append(b.doc.PathIDs, b.doc.Dict.Intern(parentPath, nodeLabel(n.Kind, n.Name)))
 	}
 	return id
 }

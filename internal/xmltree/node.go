@@ -10,7 +10,6 @@ package xmltree
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -75,6 +74,14 @@ type Document struct {
 	DocID int64
 	// Nodes holds every node in document order; Nodes[i].ID == i.
 	Nodes []Node
+	// Dict is the path dictionary PathIDs refer to. Parse and Builder
+	// attach a per-document dictionary; storage.Table.Insert rebases it
+	// onto the table's shared dictionary. Nil for documents constructed
+	// by hand (use InternPaths to attach one).
+	Dict *PathDict
+	// PathIDs holds the interned rooted-label-path ID of each node
+	// (parallel to Nodes). Text nodes carry their parent's path ID.
+	PathIDs []PathID
 }
 
 // Root returns the root element of the document, or nil if empty.
@@ -117,48 +124,69 @@ func (d *Document) TextOf(id NodeID) string {
 
 // NumericValue extracts the typed numeric value of the node, following
 // the XML Schema double lexical space (leading/trailing space trimmed).
-// ok is false when the content does not parse as a number.
+// ok is false when the content does not parse as a number. Callers that
+// already hold the extracted text should use ParseNumeric instead to
+// avoid a second subtree walk.
 func (d *Document) NumericValue(id NodeID) (v float64, ok bool) {
-	s := strings.TrimSpace(d.TextOf(id))
-	if s == "" {
-		return 0, false
+	return ParseNumeric(d.TextOf(id))
+}
+
+// PathIDOf returns the node's interned path ID, or NoPath when the
+// document's paths have not been interned.
+func (d *Document) PathIDOf(id NodeID) PathID {
+	if int(id) >= len(d.PathIDs) {
+		return NoPath
 	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, false
-	}
-	return v, true
+	return d.PathIDs[id]
 }
 
 // LabelPath returns the rooted label path of the node, e.g.
 // "/Security/SecInfo/Sector" or "/Security/@id" for attributes.
-// Text nodes report their parent's path.
+// Text nodes report their parent's path. With an attached path
+// dictionary this is a dictionary lookup; the fallback climbs parent
+// links iteratively, so arbitrarily deep documents cannot overflow the
+// stack.
 func (d *Document) LabelPath(id NodeID) string {
+	if d.Dict != nil && int(id) < len(d.PathIDs) {
+		pid := d.PathIDs[id]
+		if pid < 0 {
+			return "/"
+		}
+		return d.Dict.Path(pid)
+	}
 	n := d.Node(id)
 	if n.Kind == Text {
 		if n.Parent < 0 {
 			return "/"
 		}
-		return d.LabelPath(n.Parent)
+		n = d.Node(n.Parent)
 	}
-	var parts []string
-	for cur := n; ; {
-		label := cur.Name
+	size := 0
+	for cur := n; ; cur = d.Node(cur.Parent) {
+		size += 1 + len(cur.Name)
 		if cur.Kind == Attribute {
-			label = "@" + label
+			size++ // the '@' marker
 		}
-		parts = append(parts, label)
 		if cur.Parent < 0 {
 			break
 		}
-		cur = d.Node(cur.Parent)
 	}
-	var sb strings.Builder
-	for i := len(parts) - 1; i >= 0; i-- {
-		sb.WriteByte('/')
-		sb.WriteString(parts[i])
+	buf := make([]byte, size)
+	pos := size
+	for cur := n; ; cur = d.Node(cur.Parent) {
+		pos -= len(cur.Name)
+		copy(buf[pos:], cur.Name)
+		if cur.Kind == Attribute {
+			pos--
+			buf[pos] = '@'
+		}
+		pos--
+		buf[pos] = '/'
+		if cur.Parent < 0 {
+			break
+		}
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // ElementChildren returns the element-kind children of the node.

@@ -14,7 +14,7 @@ import (
 // inputs that differ only in attribute ordering.
 func Parse(r io.Reader) (*Document, error) {
 	dec := xml.NewDecoder(r)
-	doc := &Document{}
+	doc := &Document{Dict: NewPathDict()}
 	var stack []NodeID
 
 	appendNode := func(n Node) NodeID {
@@ -22,14 +22,21 @@ func Parse(r io.Reader) (*Document, error) {
 		n.ID = id
 		n.EndID = id
 		doc.Nodes = append(doc.Nodes, n)
+		parentPath := NoPath
 		if len(stack) > 0 {
 			parent := stack[len(stack)-1]
 			doc.Nodes[parent].Children = append(doc.Nodes[parent].Children, id)
 			doc.Nodes[id].Parent = parent
 			doc.Nodes[id].Level = doc.Nodes[parent].Level + 1
+			parentPath = doc.PathIDs[parent]
 		} else {
 			doc.Nodes[id].Parent = -1
 			doc.Nodes[id].Level = 1
+		}
+		if n.Kind == Text {
+			doc.PathIDs = append(doc.PathIDs, parentPath)
+		} else {
+			doc.PathIDs = append(doc.PathIDs, doc.Dict.Intern(parentPath, nodeLabel(n.Kind, n.Name)))
 		}
 		return id
 	}

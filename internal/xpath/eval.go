@@ -146,14 +146,16 @@ func evalPred(doc *xmltree.Document, ctx xmltree.NodeID, pr Pred) bool {
 // (non-numeric node values never match), string literals compare
 // codepoint-wise.
 func CompareNodeValue(doc *xmltree.Document, id xmltree.NodeID, op CmpOp, lit Value) bool {
+	// Extract the subtree text once; the numeric interpretation parses
+	// the same string instead of re-walking the subtree.
+	s := strings.TrimSpace(doc.TextOf(id))
 	if lit.Kind == NumberVal {
-		v, ok := doc.NumericValue(id)
+		v, ok := xmltree.ParseNumeric(s)
 		if !ok {
 			return false
 		}
 		return compareFloat(v, op, lit.Num)
 	}
-	s := strings.TrimSpace(doc.TextOf(id))
 	return compareString(s, op, lit.Str)
 }
 

@@ -1,0 +1,65 @@
+package xpath
+
+import "xixa/internal/xmltree"
+
+// PathMatcher incrementally matches a linear pattern against rooted
+// label paths. Where MatchesLabelPath re-runs the pattern NFA over a
+// full label slice, a PathMatcher threads the NFA state set from a
+// path's parent to the path itself, so a whole path dictionary of D
+// entries is matched in O(D·steps) regardless of path depth — the
+// structural-summary matching used by the statistics collector and the
+// index builder.
+type PathMatcher struct {
+	m machine
+}
+
+// CompilablePattern reports whether the pattern fits the compiled NFA's
+// state budget. Callers holding longer patterns must fall back to
+// direct evaluation; NewPathMatcher panics on them.
+func CompilablePattern(p Path) bool {
+	return len(p.Steps) <= maxSteps
+}
+
+// MatchState is an opaque NFA state set of a PathMatcher. The zero
+// value from Start is the initial state; a dead state (no label path
+// with this prefix can ever match) stays dead under Step.
+type MatchState uint32
+
+// NewPathMatcher compiles a linear pattern (predicates are stripped).
+func NewPathMatcher(p Path) *PathMatcher {
+	return &PathMatcher{m: compile(p)}
+}
+
+// Start returns the state before any label has been consumed.
+func (pm *PathMatcher) Start() MatchState {
+	return MatchState(pm.m.start())
+}
+
+// Step advances the state by one label ("name" or "@name" for
+// attributes).
+func (pm *PathMatcher) Step(s MatchState, label string) MatchState {
+	return MatchState(pm.m.stepSymbol(stateMask(s), label, false))
+}
+
+// Matched reports whether the labels consumed so far form a path the
+// pattern accepts.
+func (pm *PathMatcher) Matched(s MatchState) bool {
+	return pm.m.accepting(stateMask(s))
+}
+
+// ExtendStates threads the matcher over a path-dictionary snapshot:
+// states[i] is the state after consuming entry i's full label path.
+// Entries already covered by states are kept as-is, so callers can
+// extend incrementally as a dictionary grows; dictionaries guarantee
+// parents precede children, which lets each new state derive from its
+// parent's in one pass.
+func (pm *PathMatcher) ExtendStates(entries []xmltree.PathEntry, states []MatchState) []MatchState {
+	for i := len(states); i < len(entries); i++ {
+		from := pm.Start()
+		if entries[i].Parent >= 0 {
+			from = states[entries[i].Parent]
+		}
+		states = append(states, pm.Step(from, entries[i].Label))
+	}
+	return states
+}

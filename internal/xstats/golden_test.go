@@ -1,0 +1,99 @@
+package xstats
+
+import (
+	"reflect"
+	"testing"
+
+	"xixa/internal/tpox"
+	"xixa/internal/xpath"
+)
+
+// TestCollectMatchesReference asserts the single-pass PathID-keyed
+// collector produces statistics identical to the seed recursive
+// collector (CollectReference) on TPoX data: same paths, counts,
+// distinct counts, value bytes, numeric bounds, and histograms.
+func TestCollectMatchesReference(t *testing.T) {
+	db, err := tpox.NewDatabase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range db.TableNames() {
+		tbl, err := db.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Collect(tbl)
+		want := CollectReference(tbl)
+
+		if got.DocCount != want.DocCount || got.TotalNodes != want.TotalNodes {
+			t.Fatalf("%s: doc/node counts = (%d,%d), want (%d,%d)",
+				name, got.DocCount, got.TotalNodes, want.DocCount, want.TotalNodes)
+		}
+		if len(got.List) != len(want.List) {
+			t.Fatalf("%s: %d paths, want %d", name, len(got.List), len(want.List))
+		}
+		for i, g := range got.List {
+			w := want.List[i]
+			if g.Path() != w.Path() {
+				t.Fatalf("%s: List[%d] path %q, want %q", name, i, g.Path(), w.Path())
+			}
+			if !reflect.DeepEqual(g.Labels, w.Labels) {
+				t.Errorf("%s %s: labels %v, want %v", name, g.Path(), g.Labels, w.Labels)
+			}
+			if g.Count != w.Count || g.DistinctStrings != w.DistinctStrings ||
+				g.ValueBytes != w.ValueBytes || g.NumericCount != w.NumericCount ||
+				g.DistinctNums != w.DistinctNums {
+				t.Errorf("%s %s: counters (%d,%d,%d,%d,%d), want (%d,%d,%d,%d,%d)",
+					name, g.Path(),
+					g.Count, g.DistinctStrings, g.ValueBytes, g.NumericCount, g.DistinctNums,
+					w.Count, w.DistinctStrings, w.ValueBytes, w.NumericCount, w.DistinctNums)
+			}
+			if g.Min != w.Min || g.Max != w.Max {
+				t.Errorf("%s %s: bounds (%v,%v), want (%v,%v)", name, g.Path(), g.Min, g.Max, w.Min, w.Max)
+			}
+			if !reflect.DeepEqual(g.Hist, w.Hist) {
+				t.Errorf("%s %s: histogram %+v, want %+v", name, g.Path(), g.Hist, w.Hist)
+			}
+			if ps, ok := got.Paths[g.Path()]; !ok || ps != g {
+				t.Errorf("%s %s: Paths map does not point at List entry", name, g.Path())
+			}
+		}
+	}
+}
+
+// TestForPatternMatchesReference asserts the dictionary-NFA matching
+// behind ForPattern selects the same paths — and therefore derives
+// bit-identical PatternStats — as per-path label matching over the
+// reference collector's output.
+func TestForPatternMatchesReference(t *testing.T) {
+	db, err := tpox.NewDatabase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table(tpox.TableSecurity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(tbl)
+	want := CollectReference(tbl)
+	patterns := []string{
+		"/Security/Symbol",
+		"/Security/Yield",
+		"/Security/SecInfo/*/Sector",
+		"/Security//Sector",
+		"//*",
+		"//@*",
+		"/Security/@id",
+		"/Nonexistent/Path",
+	}
+	for _, text := range patterns {
+		p := xpath.MustParse(text)
+		for _, kind := range []xpath.ValueKind{xpath.StringVal, xpath.NumberVal} {
+			g := got.ForPattern(p, kind)
+			w := want.ForPattern(p, kind)
+			if !reflect.DeepEqual(g, w) {
+				t.Errorf("ForPattern(%s, %s) = %+v, want %+v", text, kind, g, w)
+			}
+		}
+	}
+}

@@ -7,11 +7,20 @@
 // statistics, and the advisor derives virtual-index statistics (size,
 // levels, entries) from them — exactly the role RUNSTATS output plays
 // for DB2's virtual indexes in the paper.
+//
+// Collection is a single linear pass over each document's flat node
+// slice: element text is accumulated once from the contiguous
+// (ID, EndID] subtree ranges, the numeric interpretation parses that
+// same string, and per-path accumulators are indexed densely by the
+// table dictionary's PathIDs — no per-node subtree walks, path string
+// joins, or string-keyed map lookups.
 package xstats
 
 import (
+	"bytes"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -26,6 +35,9 @@ type PathStat struct {
 	// Labels is the rooted label path, e.g. ["Security","SecInfo","Sector"].
 	// Attribute labels are spelled "@name".
 	Labels []string
+	// PathID is the path's ID in the table dictionary the stats were
+	// collected against (NoPath when collected without a dictionary).
+	PathID xmltree.PathID
 	// Count is the number of nodes with this label path.
 	Count int64
 	// DistinctStrings is the number of distinct string values.
@@ -60,54 +72,171 @@ type TableStats struct {
 	// iteration.
 	List []*PathStat
 
-	// mu guards patternCache. A read-write lock because ForPattern is
-	// on the optimizer's hot path and, once warm, is all cache hits —
+	// dict is the table dictionary the stats were collected against
+	// (nil for the reference collector). byID indexes List's entries by
+	// PathID for O(1) per-path lookup.
+	dict *xmltree.PathDict
+	byID []*PathStat
+
+	// mu guards the caches below. A read-write lock because ForPattern
+	// is on the optimizer's hot path and, once warm, is all cache hits —
 	// parallel advisor pipelines would otherwise serialize here.
 	mu           sync.RWMutex
 	patternCache map[string]PatternStats
+	// matchedCache memoizes, per stripped pattern, the List entries the
+	// pattern matches — the pattern is matched against the (tiny)
+	// dictionary once instead of per ForPattern type variant.
+	matchedCache map[string][]*PathStat
 }
 
-// Collect walks every document of the table and builds its synopsis.
-// This is the system's RUNSTATS.
+// PathDict returns the dictionary the statistics were collected
+// against, or nil when collected without one.
+func (ts *TableStats) PathDict() *xmltree.PathDict { return ts.dict }
+
+// ByPathID returns the statistics of one interned path, or nil.
+func (ts *TableStats) ByPathID(id xmltree.PathID) *PathStat {
+	if id < 0 || int(id) >= len(ts.byID) {
+		return nil
+	}
+	return ts.byID[id]
+}
+
+// pathAcc is the per-path accumulator state used during collection that
+// does not survive into PathStat.
+type pathAcc struct {
+	ps          *PathStat
+	distinctStr map[string]struct{}
+	distinctNum map[float64]struct{}
+	samples     []float64
+}
+
+// parseNumericBytes is xmltree.ParseNumeric over a trimmed byte view;
+// the string is only materialized for plausible numeric candidates
+// (xmltree.NumericLead rejects the common non-numeric case first).
+func parseNumericBytes(b []byte) (float64, bool) {
+	if len(b) == 0 || !xmltree.NumericLead(b[0]) {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Collect scans every document of the table and builds its synopsis in
+// one linear pass per document. This is the system's RUNSTATS.
 func Collect(t *storage.Table) *TableStats {
+	dict := t.PathDict()
 	ts := &TableStats{
 		Table:        t.Name,
 		Version:      t.Version(),
 		Paths:        make(map[string]*PathStat),
+		dict:         dict,
 		patternCache: make(map[string]PatternStats),
+		matchedCache: make(map[string][]*PathStat),
 	}
-	distinctStr := make(map[string]map[string]struct{})
-	distinctNum := make(map[string]map[float64]struct{})
-	numSamples := make(map[string][]float64)
+
+	var accs []pathAcc
+	// Per-document scratch, reused across documents: textAt lists the
+	// IDs of text nodes in document order, textCnt[i] counts text nodes
+	// with ID < i, so the text nodes inside a subtree (id, end] are
+	// textAt[textCnt[id+1]:textCnt[end+1]] — element text accumulates
+	// from these contiguous ranges without walking the subtree. textBuf
+	// holds multi-text-node concatenations so interior elements do not
+	// allocate a string per node.
+	var textAt []xmltree.NodeID
+	var textCnt []int32
+	var textBuf []byte
 
 	t.Scan(func(doc *xmltree.Document) bool {
 		ts.DocCount++
 		ts.TotalNodes += int64(doc.Len())
-		var labels []string
-		var walk func(id xmltree.NodeID)
-		walk = func(id xmltree.NodeID) {
-			n := doc.Node(id)
-			label := n.Name
-			if n.Kind == xmltree.Attribute {
-				label = "@" + label
+		if doc.Dict != dict || len(doc.PathIDs) != doc.Len() {
+			// Defensive: Table.Insert interns on the way in, so this is
+			// only reachable for documents placed by unusual means.
+			doc.InternPaths(dict)
+		}
+		n := doc.Len()
+		textAt = textAt[:0]
+		if cap(textCnt) < n+1 {
+			textCnt = make([]int32, n+1)
+		} else {
+			textCnt = textCnt[:n+1]
+		}
+		for i := 0; i < n; i++ {
+			textCnt[i] = int32(len(textAt))
+			if doc.Nodes[i].Kind == xmltree.Text {
+				textAt = append(textAt, xmltree.NodeID(i))
 			}
-			labels = append(labels, label)
-			key := "/" + strings.Join(labels, "/")
-			ps := ts.Paths[key]
-			if ps == nil {
-				ps = &PathStat{Labels: append([]string(nil), labels...)}
-				ts.Paths[key] = ps
-				distinctStr[key] = make(map[string]struct{})
-				distinctNum[key] = make(map[float64]struct{})
+		}
+		textCnt[n] = int32(len(textAt))
+
+		for i := 0; i < n; i++ {
+			node := &doc.Nodes[i]
+			if node.Kind == xmltree.Text {
+				continue
 			}
+			pid := doc.PathIDs[i]
+			if int(pid) >= len(accs) {
+				grown := make([]pathAcc, dict.Len())
+				copy(grown, accs)
+				accs = grown
+			}
+			acc := &accs[pid]
+			if acc.ps == nil {
+				acc.ps = &PathStat{PathID: pid}
+				acc.distinctStr = make(map[string]struct{})
+				acc.distinctNum = make(map[float64]struct{})
+			}
+			ps := acc.ps
+
+			// Value extraction is allocation-free: attribute and
+			// single-text values are trimmed views of existing strings,
+			// and multi-text (interior element) concatenations land in
+			// the reused byte buffer — a new string is only materialized
+			// the first time a distinct concatenated value (or one of its
+			// numeric candidates) is seen.
+			var val string
+			var valb []byte
+			concat := false
+			if node.Kind == xmltree.Attribute {
+				val = strings.TrimSpace(node.Value)
+			} else {
+				span := textAt[textCnt[node.ID+1]:textCnt[node.EndID+1]]
+				switch len(span) {
+				case 0:
+				case 1:
+					val = strings.TrimSpace(doc.Nodes[span[0]].Value)
+				default:
+					textBuf = textBuf[:0]
+					for _, tid := range span {
+						textBuf = append(textBuf, doc.Nodes[tid].Value...)
+					}
+					valb = bytes.TrimSpace(textBuf)
+					concat = true
+				}
+			}
+
 			ps.Count++
-			val := strings.TrimSpace(doc.TextOf(id))
-			ps.ValueBytes += int64(len(val))
-			if _, seen := distinctStr[key][val]; !seen {
-				distinctStr[key][val] = struct{}{}
-				ps.DistinctStrings++
+			var f float64
+			var ok bool
+			if concat {
+				ps.ValueBytes += int64(len(valb))
+				if _, seen := acc.distinctStr[string(valb)]; !seen { // no-alloc lookup
+					acc.distinctStr[string(valb)] = struct{}{}
+					ps.DistinctStrings++
+				}
+				f, ok = parseNumericBytes(valb)
+			} else {
+				ps.ValueBytes += int64(len(val))
+				if _, seen := acc.distinctStr[val]; !seen {
+					acc.distinctStr[val] = struct{}{}
+					ps.DistinctStrings++
+				}
+				f, ok = xmltree.ParseNumeric(val)
 			}
-			if f, ok := doc.NumericValue(id); ok {
+			if ok {
 				if ps.NumericCount == 0 {
 					ps.Min, ps.Max = f, f
 				} else {
@@ -115,30 +244,30 @@ func Collect(t *storage.Table) *TableStats {
 					ps.Max = math.Max(ps.Max, f)
 				}
 				ps.NumericCount++
-				numSamples[key] = append(numSamples[key], f)
-				if _, seen := distinctNum[key][f]; !seen {
-					distinctNum[key][f] = struct{}{}
+				acc.samples = append(acc.samples, f)
+				if _, seen := acc.distinctNum[f]; !seen {
+					acc.distinctNum[f] = struct{}{}
 					ps.DistinctNums++
 				}
 			}
-			for _, c := range n.Children {
-				if doc.Node(c).Kind != xmltree.Text {
-					walk(c)
-				}
-			}
-			labels = labels[:len(labels)-1]
-		}
-		if doc.Root() != nil {
-			walk(doc.Root().ID)
 		}
 		return true
 	})
 
-	ts.List = make([]*PathStat, 0, len(ts.Paths))
-	for key, ps := range ts.Paths {
-		if samples := numSamples[key]; len(samples) > 0 {
-			ps.Hist = newHistogram(ps.Min, ps.Max, samples)
+	ts.byID = make([]*PathStat, len(accs))
+	ts.List = make([]*PathStat, 0, len(accs))
+	for pid := range accs {
+		acc := &accs[pid]
+		if acc.ps == nil {
+			continue
 		}
+		ps := acc.ps
+		ps.Labels = dict.Labels(xmltree.PathID(pid))
+		if len(acc.samples) > 0 {
+			ps.Hist = newHistogram(ps.Min, ps.Max, acc.samples)
+		}
+		ts.byID[pid] = ps
+		ts.Paths[dict.Path(xmltree.PathID(pid))] = ps
 		ts.List = append(ts.List, ps)
 	}
 	sort.Slice(ts.List, func(i, j int) bool { return ts.List[i].Path() < ts.List[j].Path() })
@@ -189,11 +318,52 @@ func (ts *TableStats) EntriesPerDoc(p PatternStats) float64 {
 // mirroring xindex's key encoding.
 const numericKeyBytes = 9
 
+// matchedStats returns the List entries (in List order) whose label
+// path the linear pattern matches, memoized per stripped pattern. With
+// a dictionary the pattern NFA is threaded parent→child over the
+// dictionary's entries — O(paths·steps) regardless of depth; without
+// one (reference collector) each entry's label slice is matched
+// directly.
+func (ts *TableStats) matchedStats(strip string, p xpath.Path) []*PathStat {
+	ts.mu.RLock()
+	matched, ok := ts.matchedCache[strip]
+	ts.mu.RUnlock()
+	if ok {
+		return matched
+	}
+
+	if ts.dict != nil && xpath.CompilablePattern(p) {
+		pm := xpath.NewPathMatcher(p)
+		snap := ts.dict.Snapshot()
+		states := pm.ExtendStates(snap, make([]xpath.MatchState, 0, len(snap)))
+		for _, st := range ts.List {
+			if st.PathID >= 0 && int(st.PathID) < len(states) && pm.Matched(states[st.PathID]) {
+				matched = append(matched, st)
+			}
+		}
+	} else {
+		for _, st := range ts.List {
+			if xpath.MatchesLabelPath(p, st.Labels) {
+				matched = append(matched, st)
+			}
+		}
+	}
+
+	ts.mu.Lock()
+	if ts.matchedCache == nil {
+		ts.matchedCache = make(map[string][]*PathStat)
+	}
+	ts.matchedCache[strip] = matched
+	ts.mu.Unlock()
+	return matched
+}
+
 // ForPattern aggregates the synopsis over all label paths matched by the
 // linear pattern, producing the statistics a virtual index on that
 // pattern would have. Results are memoized per (pattern, kind).
 func (ts *TableStats) ForPattern(p xpath.Path, kind xpath.ValueKind) PatternStats {
-	key := p.StripPreds().String() + "|" + kind.String()
+	strip := p.StripPreds().String()
+	key := strip + "|" + kind.String()
 	ts.mu.RLock()
 	if ps, ok := ts.patternCache[key]; ok {
 		ts.mu.RUnlock()
@@ -203,10 +373,7 @@ func (ts *TableStats) ForPattern(p xpath.Path, kind xpath.ValueKind) PatternStat
 
 	var out PatternStats
 	first := true
-	for _, st := range ts.List {
-		if !xpath.MatchesLabelPath(p, st.Labels) {
-			continue
-		}
+	for _, st := range ts.matchedStats(strip, p) {
 		if kind == xpath.NumberVal {
 			out.Entries += st.NumericCount
 			out.KeyBytes += st.NumericCount * numericKeyBytes
