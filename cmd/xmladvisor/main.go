@@ -101,7 +101,7 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.Parallelism = *parallelism
 	opts.PlanCacheSize = *planCache
-	adv, err := core.New(db, opt, stats, w, opts)
+	adv, err := core.New(db, opt, w, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -45,8 +45,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	stats := optimizer.CollectStats(db)
-	opt := optimizer.New(db, stats)
+	// Live statistics: the shell executes inserts/deletes/updates, and
+	// plans must track them instead of costing against the load-time
+	// synopsis.
+	opt := optimizer.NewLive(db)
 	cat := engine.NewCatalog()
 	eng := engine.New(db, opt, cat)
 
@@ -55,7 +57,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		adv, err := core.New(db, opt, stats, w, core.DefaultOptions())
+		adv, err := core.New(db, opt, w, core.DefaultOptions())
 		if err != nil {
 			fatal(err)
 		}

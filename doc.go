@@ -42,6 +42,19 @@
 // counter, so the cache stays off by default and is forced off under
 // the ablation options that audit optimizer-call counts.
 //
+// # Live statistics under updates
+//
+// optimizer.New freezes statistics at collection time; optimizer.NewLive
+// instead maintains them incrementally from each table's change feed
+// (storage.Table.Subscribe, xstats.Keeper): a K-document change batch
+// folds into the synopsis in O(K) via exact value multisets
+// (xstats.Delta, TableStats.ApplyDelta), compiled statements and
+// plan-cache entries are keyed by statistics version and rebuilt on
+// mismatch, and post-mutation plans and recommendations are
+// bit-identical to a cold optimizer on freshly collected statistics.
+// Engine-driven flows (cmd/xqshell, examples/autonomous, the
+// update-stream experiment) run in this mode.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for regenerating the paper's evaluation.
 package xixa

@@ -26,8 +26,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := optimizer.CollectStats(db)
-	opt := optimizer.New(db, stats)
+	// Live statistics: the online loop keeps executing statements while
+	// the advisor periodically re-tunes, so the optimizer maintains its
+	// statistics incrementally instead of freezing them at startup.
+	opt := optimizer.NewLive(db)
 	cat := engine.NewCatalog()
 	eng := engine.New(db, opt, cat)
 
@@ -47,7 +49,7 @@ func main() {
 		if w.Len() == 0 {
 			return
 		}
-		adv, err := core.New(db, opt, stats, w, core.DefaultOptions())
+		adv, err := core.New(db, opt, w, core.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

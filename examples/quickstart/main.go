@@ -48,7 +48,7 @@ func main() {
 
 	// 4. The advisor: enumerate candidates via the optimizer's
 	// Enumerate Indexes mode, generalize, search.
-	adv, err := core.New(db, opt, stats, w, core.DefaultOptions())
+	adv, err := core.New(db, opt, w, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

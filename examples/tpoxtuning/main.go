@@ -28,7 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	adv, err := core.New(db, opt, stats, w, core.DefaultOptions())
+	adv, err := core.New(db, opt, w, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	test, err := core.New(db, opt, stats, full, core.DefaultOptions())
+	test, err := core.New(db, opt, full, core.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func main() {
 
 	fmt.Printf("%6s %16s %16s\n", "train", "topdown-lite", "heuristic")
 	for _, n := range []int{2, 5, 8, 11, 14, 17, 20} {
-		train, err := core.New(db, opt, stats, full.Prefix(n), core.DefaultOptions())
+		train, err := core.New(db, opt, full.Prefix(n), core.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -65,25 +65,27 @@ func DefaultOptions() Options {
 
 // Advisor is the XML Index Advisor.
 type Advisor struct {
-	DB    *storage.Database
-	Opt   *optimizer.Optimizer
-	Stats map[string]*xstats.TableStats
-	Opts  Options
+	DB   *storage.Database
+	Opt  *optimizer.Optimizer
+	Opts Options
 
 	W          *workload.Workload
 	Candidates *CandidateSet
 	eval       *Evaluator
 }
 
-// New creates an advisor over a database with collected statistics and
-// a training workload. It immediately runs candidate enumeration and
-// generalization (steps 1-2 of the pipeline).
-func New(db *storage.Database, opt *optimizer.Optimizer, stats map[string]*xstats.TableStats,
+// New creates an advisor over a database and a training workload. It
+// immediately runs candidate enumeration and generalization (steps 1-2
+// of the pipeline). Statistics are read through the optimizer's
+// statistics source, so candidate sizing always agrees with what-if
+// costing — including under a live (NewLive) optimizer whose statistics
+// track table mutations.
+func New(db *storage.Database, opt *optimizer.Optimizer,
 	w *workload.Workload, opts Options) (*Advisor, error) {
 	if w == nil || w.Len() == 0 {
 		return nil, fmt.Errorf("core: empty workload")
 	}
-	a := &Advisor{DB: db, Opt: opt, Stats: stats, Opts: opts, W: w}
+	a := &Advisor{DB: db, Opt: opt, Opts: opts, W: w}
 	switch {
 	case opts.DisableSubConfigCache || opts.DisableAffectedSets:
 		// Ablations audit the optimizer-call counters, which plan-cache
@@ -103,10 +105,11 @@ func New(db *storage.Database, opt *optimizer.Optimizer, stats map[string]*xstat
 	return a, nil
 }
 
-// statsFor derives the virtual statistics of a definition.
+// statsFor derives the virtual statistics of a definition from the
+// optimizer's current statistics snapshot.
 func (a *Advisor) statsFor(def xindex.Definition) xstats.PatternStats {
-	ts, ok := a.Stats[def.Table]
-	if !ok {
+	ts, err := a.Opt.TableStats(def.Table)
+	if err != nil {
 		return xstats.PatternStats{}
 	}
 	return ts.ForPattern(def.Pattern, def.Type)

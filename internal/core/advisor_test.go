@@ -37,7 +37,7 @@ func newFixture(t testing.TB, docs int, stmts ...string) *Advisor {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := New(db, opt, optimizer.CollectStats(db), w, DefaultOptions())
+	a, err := New(db, opt, w, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestMaintenanceCostSteersRecommendation(t *testing.T) {
 	w.Add(xquery.MustParse(
 		`insert into SECURITY value <Security><Symbol>HOT</Symbol><Yield>1</Yield></Security>`),
 		100000)
-	noisy, err := New(a.DB, a.Opt, a.Stats, w, DefaultOptions())
+	noisy, err := New(a.DB, a.Opt, w, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,7 @@ func TestEmptyWorkloadRejected(t *testing.T) {
 	db := storage.NewDatabase()
 	db.MustCreateTable("SECURITY")
 	opt := optimizer.New(db, optimizer.CollectStats(db))
-	if _, err := New(db, opt, optimizer.CollectStats(db), workload.New(), DefaultOptions()); err == nil {
+	if _, err := New(db, opt, workload.New(), DefaultOptions()); err == nil {
 		t.Error("empty workload accepted")
 	}
 }

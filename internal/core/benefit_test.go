@@ -142,7 +142,7 @@ func TestFrequencyScalesBenefit(t *testing.T) {
 	a1 := newFixture(t, 200, aq1)
 	w := workload.New()
 	w.Add(xquery.MustParse(aq1), 10)
-	a10, err := New(a1.DB, a1.Opt, a1.Stats, w, DefaultOptions())
+	a10, err := New(a1.DB, a1.Opt, w, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,7 +85,7 @@ func TestPlanCacheGatedByAblations(t *testing.T) {
 	mk := func(opts Options) {
 		t.Helper()
 		opts.PlanCacheSize = 32
-		if _, err := New(base.DB, base.Opt, base.Stats, w, opts); err != nil {
+		if _, err := New(base.DB, base.Opt, w, opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -124,7 +124,7 @@ func newParallelFixture(t *testing.T, stmts []string) (serial, parallel *Advisor
 	mk := func(parallelism int) *Advisor {
 		opts := DefaultOptions()
 		opts.Parallelism = parallelism
-		a, err := New(base.DB, base.Opt, base.Stats, w, opts)
+		a, err := New(base.DB, base.Opt, w, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

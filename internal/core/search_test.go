@@ -92,7 +92,7 @@ func TestMultiTableWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := New(db, opt, stats, w, DefaultOptions())
+	a, err := New(db, opt, w, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestGeneralizationRespectsTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := New(db, opt, stats, w, DefaultOptions())
+	a, err := New(db, opt, w, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

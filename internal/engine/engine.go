@@ -319,11 +319,18 @@ func (e *Engine) runUpdate(plan *optimizer.Plan) (Stats, error) {
 	if err != nil {
 		return st, err
 	}
+	tbl, err := e.db.Table(stmt.Table)
+	if err != nil {
+		return st, err
+	}
 	for _, doc := range docs {
 		// Remove the document's entries, mutate, re-add. Only indexes
 		// covering the updated node actually change, but the engine
 		// performs the full cycle the way a naive maintenance pass
-		// would; the counters reflect entries actually touched.
+		// would; the counters reflect entries actually touched. The
+		// mutation itself goes through the table so its version advances
+		// and change subscribers (the incremental statistics keeper) see
+		// the pre- and post-images.
 		targets := xpath.Eval(doc, xpath.Concat(stmt.Match.StripPreds(), stmt.SetPath))
 		if len(targets) == 0 {
 			continue
@@ -331,9 +338,11 @@ func (e *Engine) runUpdate(plan *optimizer.Plan) (Stats, error) {
 		for _, idx := range e.cat.ForTable(stmt.Table) {
 			st.IndexEntriesTouched += int64(idx.OnDelete(doc))
 		}
-		for _, id := range targets {
-			setNodeText(doc, id, stmt.SetValue)
-		}
+		tbl.Update(doc.DocID, func(d *xmltree.Document) {
+			for _, id := range targets {
+				setNodeText(d, id, stmt.SetValue)
+			}
+		})
 		for _, idx := range e.cat.ForTable(stmt.Table) {
 			st.IndexEntriesTouched += int64(idx.OnInsert(doc))
 		}

@@ -31,7 +31,7 @@ func AblationCalls(w io.Writer, env *Env) (*AblationCallsResult, error) {
 			return 0, 0, err
 		}
 		opts.Parallelism = env.Parallelism
-		adv, err := core.New(env.DB, env.Opt, env.Stats, wl, opts)
+		adv, err := core.New(env.DB, env.Opt, wl, opts)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -80,7 +80,7 @@ func AblationBeta(w io.Writer, env *Env) ([]AblationBetaRow, error) {
 	fmt.Fprintf(w, "  %6s %10s %14s %12s\n", "beta", "generals", "benefit", "size")
 	var rows []AblationBetaRow
 	for _, beta := range []float64{0, 0.05, 0.10, 0.25, 0.50, 1.00} {
-		adv, err := core.New(env.DB, env.Opt, env.Stats, wl,
+		adv, err := core.New(env.DB, env.Opt, wl,
 			core.Options{Beta: beta, Parallelism: env.Parallelism})
 		if err != nil {
 			return nil, err
@@ -169,7 +169,7 @@ func XMark(w io.Writer, scale, parallelism int) (*XMarkResult, error) {
 	}
 	opts := core.DefaultOptions()
 	opts.Parallelism = parallelism
-	adv, err := core.New(db, opt, stats, wl, opts)
+	adv, err := core.New(db, opt, wl, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -12,8 +12,9 @@
 //	Fig. 5    — actual speedup (real execution) for the Fig. 4 setup
 //
 // plus the repository's ablations (optimizer-call reduction of §VI-C,
-// β sensitivity of §VI-A), the update-workload experiment, and the
-// XMark extension.
+// β sensitivity of §VI-A), the update-workload experiment, the
+// sustained update+query stream with live statistics (updatestream.go),
+// and the XMark extension.
 //
 // Disk budgets are expressed relative to the All-Index configuration
 // size, and printed with the paper's MB labels scaled to our data size,
@@ -71,7 +72,7 @@ func (e *Env) options() core.Options {
 
 // newAdvisor builds an advisor for a workload over the environment.
 func (e *Env) newAdvisor(w *workload.Workload) (*core.Advisor, error) {
-	return core.New(e.DB, e.Opt, e.Stats, w, e.options())
+	return core.New(e.DB, e.Opt, w, e.options())
 }
 
 // tpoxWorkload parses the 11 TPoX queries.

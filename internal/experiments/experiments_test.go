@@ -305,3 +305,28 @@ func TestOutputRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestUpdateStreamExperiment(t *testing.T) {
+	rows, err := UpdateStream(io.Discard, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for i, row := range rows {
+		if row.Mutations != updateStreamInserts+updateStreamUpdates+updateStreamDeletes {
+			t.Errorf("round %d executed %d mutations", i+1, row.Mutations)
+		}
+		if row.Queries == 0 || row.WorkUnits <= 0 {
+			t.Errorf("round %d: queries %d, work %f", i+1, row.Queries, row.WorkUnits)
+		}
+		if row.Indexes == 0 {
+			t.Errorf("round %d recommended no indexes", i+1)
+		}
+	}
+	// Net growth: each round inserts 40 and deletes 20.
+	if rows[1].Docs != rows[0].Docs+updateStreamInserts-updateStreamDeletes {
+		t.Errorf("doc counts %d -> %d do not reflect the net mix", rows[0].Docs, rows[1].Docs)
+	}
+}

@@ -43,7 +43,7 @@ func TestAdvisorGoldenAgainstReferenceStats(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		adv, err := core.New(e.DB, opt, stats, w, core.DefaultOptions())
+		adv, err := core.New(e.DB, opt, w, core.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package optimizer
 
 import (
+	"math"
+
 	"xixa/internal/xindex"
 	"xixa/internal/xpath"
 	"xixa/internal/xquery"
@@ -34,7 +36,9 @@ func (o *Optimizer) MaintenanceCost(def xindex.Definition, stmt *xquery.Statemen
 		added := 0.0
 		for _, id := range xpath.Eval(stmt.Doc, def.Pattern) {
 			if def.Type == xpath.NumberVal {
-				if _, ok := stmt.Doc.NumericValue(id); !ok {
+				// NaN never becomes an index entry (see xindex.keyFor),
+				// so it adds no maintenance work either.
+				if v, ok := stmt.Doc.NumericValue(id); !ok || math.IsNaN(v) {
 					continue
 				}
 			}

@@ -87,12 +87,31 @@ func (p *Plan) String() string {
 	return fmt.Sprintf("IXAND(%s) cost=%.0f", strings.Join(parts, ","), p.EstCost)
 }
 
+// StatsSource supplies per-table statistics to the optimizer. The
+// static source (New) freezes statistics at collection time; the live
+// source (NewLive) maintains them incrementally from table change
+// events, so what-if costing always sees statistics matching the data.
+type StatsSource interface {
+	TableStats(table string) (*xstats.TableStats, error)
+}
+
+// staticStats is the frozen StatsSource over a collected map.
+type staticStats map[string]*xstats.TableStats
+
+func (m staticStats) TableStats(table string) (*xstats.TableStats, error) {
+	ts, ok := m[table]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: no statistics for table %q (run CollectStats)", table)
+	}
+	return ts, nil
+}
+
 // Optimizer is the cost-based optimizer. It reads table statistics (the
 // RUNSTATS synopsis) and decides plans; it never touches real index
 // contents, so virtual and real indexes are optimized identically.
 type Optimizer struct {
-	db    *storage.Database
-	stats map[string]*xstats.TableStats
+	db     *storage.Database
+	source StatsSource
 
 	enumerateCalls atomic.Int64
 	evaluateCalls  atomic.Int64
@@ -112,8 +131,27 @@ type Optimizer struct {
 }
 
 // New creates an optimizer over a database with collected statistics.
+// The statistics are frozen at collection time: after table mutations,
+// plans keep costing against the old synopsis. Engines executing
+// insert/delete/update streams should use NewLive instead.
 func New(db *storage.Database, stats map[string]*xstats.TableStats) *Optimizer {
-	return &Optimizer{db: db, stats: stats}
+	return &Optimizer{db: db, source: staticStats(stats)}
+}
+
+// NewLive creates an optimizer whose statistics track table mutations:
+// each table gets an incremental statistics keeper (xstats.Keeper)
+// subscribed to its change feed, built lazily on first use. Every
+// optimization then sees statistics bit-identical to a fresh RUNSTATS
+// at the table's current version, at O(changes) refresh cost, and
+// compiled statements and plan-cache entries keyed against stale
+// versions are rebuilt automatically.
+func NewLive(db *storage.Database) *Optimizer {
+	return &Optimizer{db: db, source: xstats.NewKeeperSet(db)}
+}
+
+// NewWithSource creates an optimizer over a custom statistics source.
+func NewWithSource(db *storage.Database, source StatsSource) *Optimizer {
+	return &Optimizer{db: db, source: source}
 }
 
 // CollectStats runs statistics collection for every table of a database
@@ -146,11 +184,15 @@ func (o *Optimizer) ResetCallCounters() {
 
 // tableStats fetches the synopsis for a statement's table.
 func (o *Optimizer) tableStats(table string) (*xstats.TableStats, error) {
-	ts, ok := o.stats[table]
-	if !ok {
-		return nil, fmt.Errorf("optimizer: no statistics for table %q (run CollectStats)", table)
-	}
-	return ts, nil
+	return o.source.TableStats(table)
+}
+
+// TableStats returns the optimizer's current statistics snapshot for a
+// table — frozen for New, current-version for NewLive. The advisor
+// derives virtual-index statistics through this accessor so it always
+// agrees with what-if costing.
+func (o *Optimizer) TableStats(table string) (*xstats.TableStats, error) {
+	return o.source.TableStats(table)
 }
 
 // ExtractSites rewrites the statement into its normalized predicate
@@ -233,17 +275,25 @@ func (o *Optimizer) EnumerateIndexes(stmt *xquery.Statement) ([]xindex.Definitio
 // configuration yields the no-index baseline cost.
 //
 // With the plan cache enabled (EnablePlanCache), a repeated
-// (statement, configuration) pair returns the memoized plan without
-// re-optimizing and without incrementing EvaluateCalls; the returned
-// plan is shared and must be treated as read-only.
+// (statement, table version, configuration) triple returns the memoized
+// plan without re-optimizing and without incrementing EvaluateCalls;
+// the returned plan is shared and must be treated as read-only. Keying
+// by the statistics version means a table mutation invalidates every
+// cached plan for that table: the next evaluation re-optimizes against
+// the current statistics instead of serving a stale plan.
 func (o *Optimizer) EvaluateIndexes(stmt *xquery.Statement, config []xindex.Definition) (*Plan, error) {
+	ts, err := o.tableStats(stmt.Table)
+	if err != nil {
+		o.evaluateCalls.Add(1)
+		return nil, err
+	}
 	if pc := o.planCache.Load(); pc != nil {
-		key := planKey(stmt.Raw, config)
+		key := planKey(stmt.Raw, ts.Version, config)
 		if p, ok := pc.get(key); ok {
 			return p, nil
 		}
 		o.evaluateCalls.Add(1)
-		p, err := o.plan(stmt, config)
+		p, err := o.plan(stmt, ts, config)
 		if err != nil {
 			return nil, err
 		}
@@ -251,18 +301,15 @@ func (o *Optimizer) EvaluateIndexes(stmt *xquery.Statement, config []xindex.Defi
 		return p, nil
 	}
 	o.evaluateCalls.Add(1)
-	return o.plan(stmt, config)
+	return o.plan(stmt, ts, config)
 }
 
 // plan is shared by EvaluateIndexes (virtual configs) and the engine
 // (real configs): choose the cheapest access plan under the given index
-// definitions. All statement-invariant quantities come precomputed from
-// the compiled statement; per call only the configuration is walked.
-func (o *Optimizer) plan(stmt *xquery.Statement, config []xindex.Definition) (*Plan, error) {
-	ts, err := o.tableStats(stmt.Table)
-	if err != nil {
-		return nil, err
-	}
+// definitions against one statistics snapshot. All statement-invariant
+// quantities come precomputed from the compiled statement; per call
+// only the configuration is walked.
+func (o *Optimizer) plan(stmt *xquery.Statement, ts *xstats.TableStats, config []xindex.Definition) (*Plan, error) {
 	cs := o.compile(stmt, ts)
 	base := cs.baseCost
 	p := &Plan{Stmt: stmt, EstCost: base, EstBaseCost: base}

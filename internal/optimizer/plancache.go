@@ -3,6 +3,7 @@ package optimizer
 import (
 	"container/list"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -81,15 +82,17 @@ func (c *planCache) len() int {
 }
 
 // planKey fingerprints one Evaluate Indexes call: the statement's raw
-// text (statements are immutable after parse) plus the canonical key of
-// the virtual configuration, order-insensitive.
-func planKey(raw string, config []xindex.Definition) string {
+// text (statements are immutable after parse), the statistics version
+// the plan was costed against (so mutated tables never serve stale
+// plans), and the canonical key of the virtual configuration,
+// order-insensitive.
+func planKey(raw string, version int64, config []xindex.Definition) string {
 	keys := make([]string, len(config))
 	for i, d := range config {
 		keys[i] = d.Key()
 	}
 	sort.Strings(keys)
-	return raw + "\x00" + strings.Join(keys, ";")
+	return raw + "\x00" + strconv.FormatInt(version, 10) + "\x00" + strings.Join(keys, ";")
 }
 
 // EnablePlanCache turns on the memoized plan cache with the given

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"xixa/internal/xindex"
+	"xixa/internal/xmltree"
 	"xixa/internal/xpath"
 	"xixa/internal/xquery"
 )
@@ -138,5 +139,65 @@ func TestPlanCacheConcurrent(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestPlanCacheInvalidatedByTableVersion asserts cache keys include the
+// statistics version: after a table mutation, a live optimizer must
+// re-optimize instead of serving the plan cached against the old
+// statistics — the stale-plan half of the stale-statistics bug.
+func TestPlanCacheInvalidatedByTableVersion(t *testing.T) {
+	db, _ := newFixture(t, 300)
+	opt := NewLive(db)
+	opt.EnablePlanCache(64)
+	defer opt.DisablePlanCache()
+
+	stmt := xquery.MustParse(oq2)
+	cfg := []xindex.Definition{defOf("/Security/Yield", xpath.NumberVal)}
+	before, err := opt.EvaluateIndexes(stmt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := opt.EvaluateCalls()
+	// Warm: repeated evaluation is a hit.
+	if _, err := opt.EvaluateIndexes(stmt, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.EvaluateCalls(); got != calls {
+		t.Fatalf("warm hit re-optimized: %d -> %d calls", calls, got)
+	}
+
+	// Mutate the table: grow it by a third.
+	tbl, err := db.Table("SECURITY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d := xmltree.NewBuilder().
+			Begin("Security").
+			Leaf("Symbol", fmt.Sprintf("V%05d", i)).
+			LeafFloat("Yield", 5.0+float64(i%40)/10).
+			End().Document()
+		tbl.Insert(d)
+	}
+
+	after, err := opt.EvaluateIndexes(xquery.MustParse(oq2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.EvaluateCalls(); got != calls+1 {
+		t.Fatalf("post-mutation evaluation did not re-optimize: %d -> %d calls", calls, got)
+	}
+	if after.EstBaseCost <= before.EstBaseCost {
+		t.Fatalf("post-mutation base cost %v not above pre-mutation %v", after.EstBaseCost, before.EstBaseCost)
+	}
+	want := New(db, CollectStats(db))
+	fresh, err := want.EvaluateIndexes(xquery.MustParse(oq2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.EstCost != fresh.EstCost || after.EstBaseCost != fresh.EstBaseCost {
+		t.Fatalf("live cached path (%v,%v) != fresh stats (%v,%v)",
+			after.EstCost, after.EstBaseCost, fresh.EstCost, fresh.EstBaseCost)
 	}
 }

@@ -6,10 +6,10 @@
 //
 // Format (little-endian):
 //
-//	magic "XIXADB1\n"
+//	magic "XIXADB2\n"
 //	uvarint tableCount
-//	  table: string name, uvarint docCount
-//	    doc: uvarint nodeCount
+//	  table: string name, uvarint nextID, uvarint docCount
+//	    doc: uvarint docID, uvarint nodeCount
 //	      node: byte kind, varint parent(+1), string name, string value
 //	uvarint indexDefCount
 //	  def: string table, string pattern, byte type
@@ -17,6 +17,13 @@
 //
 // Children, levels, and subtree intervals are reconstructed from the
 // parent links and document order on load.
+//
+// Version 2 added the per-table nextID and per-document docID fields so
+// document identities survive a save/load cycle: version 1 re-inserted
+// documents on load, which silently re-numbered every document after
+// any deletion and invalidated external references to document IDs.
+// Version 1 snapshots (magic "XIXADB1\n", no ID fields) still load,
+// with IDs assigned by insertion order as before.
 package persist
 
 import (
@@ -34,7 +41,10 @@ import (
 	"xixa/internal/xpath"
 )
 
-var magic = []byte("XIXADB1\n")
+var (
+	magic   = []byte("XIXADB2\n")
+	magicV1 = []byte("XIXADB1\n")
+)
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -87,11 +97,17 @@ func SaveDatabase(w io.Writer, db *storage.Database, defs []xindex.Definition) e
 		if err := cw.str(name); err != nil {
 			return err
 		}
+		if err := cw.uvarint(uint64(tbl.NextID())); err != nil {
+			return err
+		}
 		if err := cw.uvarint(uint64(tbl.DocCount())); err != nil {
 			return err
 		}
 		var docErr error
 		tbl.Scan(func(doc *xmltree.Document) bool {
+			if docErr = cw.uvarint(uint64(doc.DocID)); docErr != nil {
+				return false
+			}
 			docErr = writeDoc(cw, doc)
 			return docErr == nil
 		})
@@ -204,7 +220,8 @@ func LoadDatabase(r io.Reader) (*storage.Database, []xindex.Definition, error) {
 	if err := cr.read(head); err != nil {
 		return nil, nil, fmt.Errorf("persist: reading magic: %w", err)
 	}
-	if string(head) != string(magic) {
+	v2 := string(head) == string(magic)
+	if !v2 && string(head) != string(magicV1) {
 		return nil, nil, fmt.Errorf("persist: not a xixa snapshot (bad magic %q)", head)
 	}
 	db := storage.NewDatabase()
@@ -221,11 +238,32 @@ func LoadDatabase(r io.Reader) (*storage.Database, []xindex.Definition, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if v2 {
+			nextID, err := cr.uvarint()
+			if err != nil {
+				return nil, nil, err
+			}
+			tbl.SetNextID(int64(nextID))
+		}
 		docCount, err := cr.uvarint()
 		if err != nil {
 			return nil, nil, err
 		}
 		for d := uint64(0); d < docCount; d++ {
+			if v2 {
+				docID, err := cr.uvarint()
+				if err != nil {
+					return nil, nil, err
+				}
+				doc, err := readDoc(cr)
+				if err != nil {
+					return nil, nil, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+				}
+				if err := tbl.InsertAt(doc, int64(docID)); err != nil {
+					return nil, nil, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+				}
+				continue
+			}
 			doc, err := readDoc(cr)
 			if err != nil {
 				return nil, nil, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)

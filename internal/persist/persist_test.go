@@ -1,6 +1,10 @@
 package persist
 
 import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+
 	"bytes"
 	"path/filepath"
 	"strings"
@@ -176,5 +180,140 @@ func TestHostileInputsDoNotPanic(t *testing.T) {
 		mut := append([]byte(nil), base...)
 		mut[i] = 0xFF
 		_, _, _ = LoadDatabase(bytes.NewReader(mut)) // must not panic
+	}
+}
+
+// TestDocIDsSurviveRoundTrip asserts the v2 format preserves document
+// identities: after a delete the remaining IDs are no longer dense, and
+// a save/load cycle must keep them (v1 re-inserted docs, silently
+// renumbering everything after a deletion) along with the table's
+// nextID, so post-load inserts cannot collide with pre-snapshot IDs.
+func TestDocIDsSurviveRoundTrip(t *testing.T) {
+	db := storage.NewDatabase()
+	tbl := db.MustCreateTable("T")
+	mkDoc := func(sym string) *xmltree.Document {
+		return xmltree.NewBuilder().Begin("Doc").Leaf("Sym", sym).End().Document()
+	}
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		ids = append(ids, tbl.Insert(mkDoc(strings.Repeat("X", i+1))))
+	}
+	tbl.Delete(ids[0])
+	tbl.Delete(ids[3])
+	nextBefore := tbl.NextID()
+
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, db, nil); err != nil {
+		t.Fatal(err)
+	}
+	db2, _, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := db2.Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.DocCount() != 4 {
+		t.Fatalf("loaded %d docs, want 4", tbl2.DocCount())
+	}
+	for _, id := range []int64{1, 2, 4, 5} {
+		d, ok := tbl2.Get(id)
+		if !ok {
+			t.Fatalf("doc %d missing after round trip", id)
+		}
+		if d.DocID != id {
+			t.Fatalf("doc under key %d carries DocID %d", id, d.DocID)
+		}
+		orig, _ := tbl.Get(id)
+		if d.Nodes[2].Value != orig.Nodes[2].Value {
+			t.Fatalf("doc %d content changed: %q vs %q", id, d.Nodes[2].Value, orig.Nodes[2].Value)
+		}
+	}
+	for _, id := range []int64{0, 3} {
+		if _, ok := tbl2.Get(id); ok {
+			t.Fatalf("deleted doc %d reappeared", id)
+		}
+	}
+	if tbl2.NextID() != nextBefore {
+		t.Fatalf("nextID = %d after load, want %d", tbl2.NextID(), nextBefore)
+	}
+	if id := tbl2.Insert(mkDoc("NEW")); id != nextBefore {
+		t.Fatalf("post-load insert assigned %d, want %d", id, nextBefore)
+	}
+}
+
+// saveV1 writes a version-1 snapshot (no nextID/docID fields), so the
+// read-compat path stays covered without keeping old binaries around.
+func saveV1(t *testing.T, db *storage.Database, defs []xindex.Definition) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw := &countingWriter{w: bufio.NewWriter(&buf), sum: crc32.New(crcTable)}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(cw.write([]byte("XIXADB1\n")))
+	names := db.TableNames()
+	must(cw.uvarint(uint64(len(names))))
+	for _, name := range names {
+		tbl, err := db.Table(name)
+		must(err)
+		must(cw.str(name))
+		must(cw.uvarint(uint64(tbl.DocCount())))
+		tbl.Scan(func(doc *xmltree.Document) bool {
+			must(writeDoc(cw, doc))
+			return true
+		})
+	}
+	must(cw.uvarint(uint64(len(defs))))
+	for _, def := range defs {
+		must(cw.str(def.Table))
+		must(cw.str(def.Pattern.String()))
+		kind := byte(0)
+		if def.Type == xpath.NumberVal {
+			kind = 1
+		}
+		must(cw.write([]byte{kind}))
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.sum.Sum32())
+	buf2 := crcBuf[:]
+	if _, err := cw.w.Write(buf2); err != nil {
+		t.Fatal(err)
+	}
+	must(cw.w.Flush())
+	return buf.Bytes()
+}
+
+// TestV1SnapshotsStillLoad asserts read-compat for the previous format:
+// documents load with insertion-order IDs, exactly as v1 behaved.
+func TestV1SnapshotsStillLoad(t *testing.T) {
+	db := storage.NewDatabase()
+	tbl := db.MustCreateTable("T")
+	for i := 0; i < 4; i++ {
+		tbl.Insert(xmltree.NewBuilder().Begin("Doc").LeafInt("N", int64(i)).End().Document())
+	}
+	raw := saveV1(t, db, snapshotDefs())
+	db2, defs, err := LoadDatabase(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("loading v1 snapshot: %v", err)
+	}
+	if len(defs) != len(snapshotDefs()) {
+		t.Fatalf("loaded %d defs, want %d", len(defs), len(snapshotDefs()))
+	}
+	tbl2, err := db2.Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.DocCount() != 4 {
+		t.Fatalf("loaded %d docs, want 4", tbl2.DocCount())
+	}
+	for id := int64(0); id < 4; id++ {
+		if _, ok := tbl2.Get(id); !ok {
+			t.Fatalf("v1 doc %d missing (insertion-order IDs expected)", id)
+		}
 	}
 }

@@ -4,7 +4,10 @@
 //
 // The storage layer is deliberately simple — an in-memory document
 // collection — because the advisor and optimizer only require document
-// scan, document fetch by ID, and size accounting.
+// scan, document fetch by ID, and size accounting. Tables additionally
+// publish a change feed (Subscribe) so derived structures — the
+// incremental statistics keeper, real indexes — can track a live
+// insert/delete/update stream without re-scanning the table.
 package storage
 
 import (
@@ -14,6 +17,35 @@ import (
 
 	"xixa/internal/xmltree"
 )
+
+// ChangeKind discriminates table change events.
+type ChangeKind uint8
+
+const (
+	// DocInserted marks a document entering the table (insert, restore,
+	// or the re-add half of an in-place update).
+	DocInserted ChangeKind = iota + 1
+	// DocRemoved marks a document leaving the table (delete, or the
+	// remove half of an in-place update).
+	DocRemoved
+)
+
+// Change is one table mutation event. An in-place update is delivered
+// as a DocRemoved for the pre-image followed by a DocInserted for the
+// post-image (two version increments), so subscribers that maintain
+// value-level state never see a document change without a matching
+// remove/insert pair.
+type Change struct {
+	Kind ChangeKind
+	// Doc is the affected document. For DocRemoved it is still fully
+	// readable during the callback.
+	Doc *xmltree.Document
+	// Version is the table's mutation counter after this change.
+	Version int64
+}
+
+// tombstone marks a deleted slot in the insertion-order slice.
+const tombstone int64 = -1
 
 // Table is a named table with one XML column holding a collection of
 // documents.
@@ -29,39 +61,132 @@ type Table struct {
 
 	mu      sync.RWMutex
 	docs    map[int64]*xmltree.Document
-	order   []int64 // insertion order for deterministic scans
+	order   []int64       // insertion order for deterministic scans; tombstone = deleted
+	pos     map[int64]int // doc ID -> index in order, for O(1) deletes
+	tombs   int           // tombstone count in order
 	nextID  int64
 	nodes   int64 // total node count across documents
 	bytes   int64 // total storage bytes
 	version int64 // bumped on every mutation; statistics staleness check
+
+	listeners []func(Change)
 }
 
 // NewTable creates an empty table.
 func NewTable(name string) *Table {
-	return &Table{Name: name, dict: xmltree.NewPathDict(), docs: make(map[int64]*xmltree.Document)}
+	return &Table{
+		Name: name,
+		dict: xmltree.NewPathDict(),
+		docs: make(map[int64]*xmltree.Document),
+		pos:  make(map[int64]int),
+	}
 }
 
 // PathDict returns the table's shared path dictionary.
 func (t *Table) PathDict() *xmltree.PathDict { return t.dict }
+
+// Subscribe registers a change listener. Listeners are invoked with the
+// table lock held, in subscription order, for every mutation from this
+// point on; they must be fast and must not call back into the table.
+func (t *Table) Subscribe(fn func(Change)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.listeners = append(t.listeners, fn)
+}
+
+// SubscribeScan atomically registers a change listener and visits every
+// document already in the table, so a subscriber can build its initial
+// state without racing concurrent mutations: every document is seen
+// exactly once, either by init or by a later DocInserted event. It
+// returns the table version the initial state corresponds to. The same
+// callback constraints as Subscribe apply to both functions.
+func (t *Table) SubscribeScan(fn func(Change), init func(*xmltree.Document)) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.listeners = append(t.listeners, fn)
+	if init != nil {
+		for _, id := range t.order {
+			if id == tombstone {
+				continue
+			}
+			init(t.docs[id])
+		}
+	}
+	return t.version
+}
+
+// notify delivers a change to every listener. Callers hold t.mu.
+func (t *Table) notify(c Change) {
+	for _, fn := range t.listeners {
+		fn(c)
+	}
+}
 
 // Insert stores a document and returns its assigned document ID. The
 // document's paths are interned into the table's shared dictionary.
 func (t *Table) Insert(doc *xmltree.Document) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	doc.InternPaths(t.dict)
 	id := t.nextID
 	t.nextID++
+	t.insertLocked(doc, id)
+	return id
+}
+
+// InsertAt stores a document under an explicit ID — the snapshot-restore
+// path, which must preserve the IDs real indexes and references were
+// built against. It fails if the ID is already taken, and raises nextID
+// past the restored ID so later Inserts cannot collide.
+func (t *Table) InsertAt(doc *xmltree.Document, id int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 0 {
+		return fmt.Errorf("storage: invalid document ID %d", id)
+	}
+	if _, taken := t.docs[id]; taken {
+		return fmt.Errorf("storage: document ID %d already exists in table %q", id, t.Name)
+	}
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	t.insertLocked(doc, id)
+	return nil
+}
+
+func (t *Table) insertLocked(doc *xmltree.Document, id int64) {
+	doc.InternPaths(t.dict)
 	doc.DocID = id
 	t.docs[id] = doc
+	t.pos[id] = len(t.order)
 	t.order = append(t.order, id)
 	t.nodes += int64(doc.Len())
 	t.bytes += doc.StorageBytes()
 	t.version++
-	return id
+	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version})
 }
 
-// Delete removes a document by ID, reporting whether it existed.
+// SetNextID raises the table's next document ID (snapshot restore: the
+// pre-snapshot table may have burned IDs past its largest live one).
+// It never lowers nextID below already-assigned IDs.
+func (t *Table) SetNextID(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > t.nextID {
+		t.nextID = n
+	}
+}
+
+// NextID returns the ID the next inserted document will receive.
+func (t *Table) NextID() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nextID
+}
+
+// Delete removes a document by ID, reporting whether it existed. The
+// insertion-order slot becomes a tombstone (compacted once tombstones
+// dominate), so heavy delete streams stay O(1) per delete instead of
+// splicing the order slice.
 func (t *Table) Delete(id int64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -72,14 +197,63 @@ func (t *Table) Delete(id int64) bool {
 	delete(t.docs, id)
 	t.nodes -= int64(doc.Len())
 	t.bytes -= doc.StorageBytes()
-	// Remove from insertion order (linear; deletes are rare relative to scans).
-	for i, d := range t.order {
-		if d == id {
-			t.order = append(t.order[:i], t.order[i+1:]...)
-			break
-		}
+	i := t.pos[id]
+	t.order[i] = tombstone
+	delete(t.pos, id)
+	t.tombs++
+	if t.tombs > 64 && t.tombs > len(t.order)/2 {
+		t.compactLocked()
 	}
 	t.version++
+	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version})
+	return true
+}
+
+// compactLocked rewrites order without tombstones and rebuilds pos.
+// Insertion order among live documents is preserved.
+func (t *Table) compactLocked() {
+	live := t.order[:0]
+	for _, id := range t.order {
+		if id == tombstone {
+			continue
+		}
+		t.pos[id] = len(live)
+		live = append(live, id)
+	}
+	t.order = live
+	t.tombs = 0
+}
+
+// Update mutates a document in place, reporting whether the document
+// exists. Subscribers observe the update as a DocRemoved of the
+// pre-image followed by a DocInserted of the post-image; the mutation
+// counter advances twice so every emitted version is unique. The
+// mutator must not add or remove nodes — it may only rewrite values
+// (the engine's UPDATE dialect only touches leaves) — and must not
+// call back into the table.
+//
+// Concurrency caveat: the table lock serializes Update against other
+// table operations, but readers that fetched the *Document earlier
+// (Scan/Get return live pointers, not copies) evaluate it with no lock
+// held, so an in-place value rewrite is NOT safe to run concurrently
+// with statement execution that may touch the same document. Inserts
+// and deletes are safe alongside readers (documents are never mutated,
+// only added/unlinked); UPDATE statements require external
+// single-writer discipline, as in the seed engine.
+func (t *Table) Update(id int64, mutate func(*xmltree.Document)) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	doc, ok := t.docs[id]
+	if !ok {
+		return false
+	}
+	t.version++
+	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version})
+	preBytes := doc.StorageBytes()
+	mutate(doc)
+	t.bytes += doc.StorageBytes() - preBytes
+	t.version++
+	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version})
 	return true
 }
 
@@ -95,8 +269,12 @@ func (t *Table) Get(id int64) (*xmltree.Document, bool) {
 // returns false to stop. Scan reports the number of documents visited.
 func (t *Table) Scan(visit func(*xmltree.Document) bool) int {
 	t.mu.RLock()
-	ids := make([]int64, len(t.order))
-	copy(ids, t.order)
+	ids := make([]int64, 0, len(t.order)-t.tombs)
+	for _, id := range t.order {
+		if id != tombstone {
+			ids = append(ids, id)
+		}
+	}
 	t.mu.RUnlock()
 	visited := 0
 	for _, id := range ids {

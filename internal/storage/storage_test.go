@@ -124,3 +124,128 @@ func TestVersionBumps(t *testing.T) {
 		t.Error("Version unchanged after delete")
 	}
 }
+
+func TestHeavyDeleteKeepsScanOrder(t *testing.T) {
+	tbl := NewTable("T")
+	var ids []int64
+	for i := 0; i < 500; i++ {
+		ids = append(ids, tbl.Insert(doc(fmt.Sprintf("S%03d", i), float64(i))))
+	}
+	// Delete enough to trigger tombstone compaction (> half the order
+	// slice), in a scattered pattern.
+	for i := 0; i < 500; i++ {
+		if i%3 != 1 {
+			if !tbl.Delete(ids[i]) {
+				t.Fatalf("delete %d failed", ids[i])
+			}
+		}
+	}
+	var seen []string
+	tbl.Scan(func(d *xmltree.Document) bool {
+		seen = append(seen, d.Nodes[2].Value)
+		return true
+	})
+	if len(seen) != tbl.DocCount() {
+		t.Fatalf("scan visited %d docs, DocCount %d", len(seen), tbl.DocCount())
+	}
+	for i := 0; i < len(seen); i++ {
+		want := fmt.Sprintf("S%03d", 3*i+1)
+		if seen[i] != want {
+			t.Fatalf("insertion order broken after compaction: seen[%d] = %s, want %s", i, seen[i], want)
+		}
+	}
+	// Inserts after compaction land at the end, in order.
+	idNew := tbl.Insert(doc("ZZZ", 1))
+	last := ""
+	tbl.Scan(func(d *xmltree.Document) bool {
+		last = d.Nodes[2].Value
+		return true
+	})
+	if last != "ZZZ" {
+		t.Fatalf("post-compaction insert not last in scan: %q", last)
+	}
+	if _, ok := tbl.Get(idNew); !ok {
+		t.Fatal("post-compaction Get failed")
+	}
+}
+
+func TestChangeFeed(t *testing.T) {
+	tbl := NewTable("T")
+	id0 := tbl.Insert(doc("EARLY", 1))
+	var got []Change
+	version := tbl.SubscribeScan(func(c Change) { got = append(got, c) },
+		func(d *xmltree.Document) {
+			if d.DocID != id0 {
+				t.Errorf("init saw doc %d, want %d", d.DocID, id0)
+			}
+		})
+	if version != tbl.Version() {
+		t.Fatalf("SubscribeScan version %d, table version %d", version, tbl.Version())
+	}
+
+	id1 := tbl.Insert(doc("A", 1))
+	tbl.Update(id1, func(d *xmltree.Document) { d.Nodes[2].Value = "B" })
+	tbl.Delete(id1)
+	want := []ChangeKind{DocInserted, DocRemoved, DocInserted, DocRemoved}
+	if len(got) != len(want) {
+		t.Fatalf("saw %d changes, want %d", len(got), len(want))
+	}
+	lastVersion := version
+	for i, c := range got {
+		if c.Kind != want[i] {
+			t.Errorf("change %d kind %v, want %v", i, c.Kind, want[i])
+		}
+		if c.Doc == nil || c.Doc.DocID != id1 {
+			t.Errorf("change %d doc = %v", i, c.Doc)
+		}
+		if c.Version <= lastVersion {
+			t.Errorf("change %d version %d did not advance past %d", i, c.Version, lastVersion)
+		}
+		lastVersion = c.Version
+	}
+	if lastVersion != tbl.Version() {
+		t.Errorf("final change version %d, table version %d", lastVersion, tbl.Version())
+	}
+}
+
+func TestUpdateAdjustsAccounting(t *testing.T) {
+	tbl := NewTable("T")
+	id := tbl.Insert(doc("A", 1))
+	before := tbl.SizeBytes()
+	tbl.Update(id, func(d *xmltree.Document) { d.Nodes[2].Value = "MUCHLONGERSYMBOL" })
+	grown := tbl.SizeBytes()
+	if grown <= before {
+		t.Fatalf("SizeBytes %d did not grow past %d after value grew", grown, before)
+	}
+	if tbl.Update(999, func(*xmltree.Document) {}) {
+		t.Fatal("Update of missing doc succeeded")
+	}
+}
+
+func TestInsertAtPreservesIDs(t *testing.T) {
+	tbl := NewTable("T")
+	if err := tbl.InsertAt(doc("A", 1), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.InsertAt(doc("B", 2), 5); err == nil {
+		t.Fatal("duplicate InsertAt succeeded")
+	}
+	if err := tbl.InsertAt(doc("C", 3), -1); err == nil {
+		t.Fatal("negative InsertAt succeeded")
+	}
+	if d, ok := tbl.Get(5); !ok || d.DocID != 5 {
+		t.Fatalf("Get(5) = %v, %v", d, ok)
+	}
+	// nextID advanced past the explicit ID.
+	if id := tbl.Insert(doc("D", 4)); id != 6 {
+		t.Fatalf("Insert after InsertAt(5) assigned %d, want 6", id)
+	}
+	tbl.SetNextID(100)
+	if id := tbl.Insert(doc("E", 5)); id != 100 {
+		t.Fatalf("Insert after SetNextID(100) assigned %d, want 100", id)
+	}
+	tbl.SetNextID(50) // never lowers
+	if id := tbl.Insert(doc("F", 6)); id != 101 {
+		t.Fatalf("SetNextID lowered nextID: got %d, want 101", id)
+	}
+}

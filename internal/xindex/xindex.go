@@ -75,7 +75,8 @@ func unpackRef(v uint64) Ref {
 // EncodeKey produces the order-preserving byte encoding of a typed
 // value: strings are tagged raw bytes; doubles are tagged big-endian
 // with the sign bit flipped (and negative values complemented) so byte
-// order equals numeric order.
+// order equals numeric order. NaN has no place in that order — callers
+// must filter NaN out (keyFor and Scan do) before encoding.
 func EncodeKey(kind xpath.ValueKind, str string, num float64) []byte {
 	if kind == xpath.StringVal {
 		out := make([]byte, 1+len(str))
@@ -162,7 +163,11 @@ func (x *Index) keyFor(doc *xmltree.Document, id xmltree.NodeID) ([]byte, bool) 
 	s := strings.TrimSpace(doc.TextOf(id))
 	if x.Def.Type == xpath.NumberVal {
 		v, ok := xmltree.ParseNumeric(s)
-		if !ok {
+		// NaN is an invalid index value (DB2's IGNORE INVALID VALUES):
+		// its sign-flipped encoding would land in the positive-number
+		// key range and surface from range scans, yet no comparison is
+		// ever true for NaN.
+		if !ok || math.IsNaN(v) {
 			return nil, false
 		}
 		return EncodeKey(xpath.NumberVal, "", v), true
@@ -250,6 +255,9 @@ func (x *Index) Scan(op xpath.CmpOp, lit xpath.Value, visit func(Ref) bool) int 
 	case lit.Kind == xpath.NumberVal && x.Def.Type != xpath.NumberVal,
 		lit.Kind == xpath.StringVal && x.Def.Type != xpath.StringVal:
 		return 0 // type mismatch: index cannot answer this comparison
+	}
+	if lit.Kind == xpath.NumberVal && math.IsNaN(lit.Num) {
+		return 0 // no comparison against NaN holds, and NaN has no key
 	}
 	key := EncodeKey(lit.Kind, lit.Str, lit.Num)
 	switch op {

@@ -342,3 +342,50 @@ func TestPropertyIndexAgreesWithEval(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNumericIndexSkipsNaN asserts NaN values never become numeric
+// index entries (IGNORE INVALID VALUES): before the fix, NaN's
+// sign-flipped encoding landed inside the positive-number key range and
+// surfaced from range scans, even though no comparison is true of NaN.
+func TestNumericIndexSkipsNaN(t *testing.T) {
+	tbl := storage.NewTable("SECURITY")
+	mk := func(yield string) *xmltree.Document {
+		return xmltree.NewBuilder().
+			Begin("Security").Leaf("Yield", yield).End().Document()
+	}
+	docs := []*xmltree.Document{mk("NaN"), mk("1.5"), mk("nan"), mk("7.25"), mk("NAN")}
+	for _, d := range docs {
+		tbl.Insert(d)
+	}
+	idx, err := Build(tbl, def("/Security/Yield", xpath.NumberVal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Entries() != 2 {
+		t.Fatalf("index holds %d entries, want 2 (NaN must be skipped)", idx.Entries())
+	}
+	// Full numeric range: NaN must not be range-scannable.
+	var hits []Ref
+	idx.Scan(xpath.OpGe, xpath.NumberValue(math.Inf(-1)), func(r Ref) bool {
+		hits = append(hits, r)
+		return true
+	})
+	if len(hits) != 2 {
+		t.Fatalf("range scan returned %d refs, want 2: %v", len(hits), hits)
+	}
+	// NaN literal: no comparison holds.
+	for _, op := range []xpath.CmpOp{xpath.OpEq, xpath.OpLt, xpath.OpLe, xpath.OpGt, xpath.OpGe, xpath.OpNe} {
+		n := idx.Scan(op, xpath.NumberValue(math.NaN()), func(Ref) bool { return true })
+		if n != 0 {
+			t.Fatalf("Scan(%v, NaN) visited %d entries, want 0", op, n)
+		}
+	}
+	// Maintenance symmetry: deleting the NaN docs touches nothing,
+	// deleting a numeric doc removes its entry.
+	if removed := idx.OnDelete(docs[0]); removed != 0 {
+		t.Fatalf("OnDelete of NaN doc removed %d entries", removed)
+	}
+	if removed := idx.OnDelete(docs[1]); removed != 1 {
+		t.Fatalf("OnDelete of numeric doc removed %d entries", removed)
+	}
+}

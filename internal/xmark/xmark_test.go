@@ -49,7 +49,7 @@ func TestAdvisorOnXMark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := core.New(db, opt, optimizer.CollectStats(db), w, core.DefaultOptions())
+	a, err := core.New(db, opt, w, core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,421 @@
+package xstats
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"xixa/internal/xmltree"
+)
+
+// valueAcc is the mergeable accumulator of one rooted label path: exact
+// multisets of the path's string and numeric values plus running
+// scalars. Unlike the derived PathStat — which only keeps distinct
+// counts and a histogram — the multiset form supports subtraction, so
+// deletions maintain statistics exactly: removing a document's
+// contribution leaves precisely the accumulator a fresh collection of
+// the remaining documents would build.
+type valueAcc struct {
+	count int64 // node occurrences on this path
+	bytes int64 // total string-value bytes
+	// strs is the string-value multiset. Values are pointers so the hot
+	// increment path (map lookup by []byte-backed key) never allocates;
+	// a key string is only materialized the first time a distinct value
+	// is seen.
+	strs map[string]*int64
+	nums map[float64]int64 // numeric-value multiset, NaN excluded
+	// nan counts NaN-valued numeric occurrences separately: NaN cannot
+	// key a map (NaN != NaN), and the streaming collector counts every
+	// NaN occurrence as a fresh distinct value, which this reproduces.
+	nan int64
+}
+
+// foldInto adds src's contribution (possibly negative) into dst.
+func (src *valueAcc) foldInto(dst *valueAcc) {
+	dst.count += src.count
+	dst.bytes += src.bytes
+	for s, p := range src.strs {
+		if *p == 0 {
+			continue
+		}
+		dp := dst.strs[s]
+		if dp == nil {
+			dp = new(int64)
+			dst.strs[s] = dp
+		}
+		*dp += *p
+		if *dp == 0 {
+			delete(dst.strs, s)
+		}
+	}
+	for v, c := range src.nums {
+		if c == 0 {
+			continue
+		}
+		if n := dst.nums[v] + c; n == 0 {
+			delete(dst.nums, v)
+		} else {
+			dst.nums[v] = n
+		}
+	}
+	dst.nan += src.nan
+}
+
+// Delta is a PathID-indexed accumulation of document insertions and
+// removals against one table dictionary — the unit of incremental
+// statistics maintenance. A Delta doubles as the retained mergeable
+// store inside a TableStats built by Collect/FromDelta, which is what
+// makes ApplyDelta exact: folding a delta into the store yields the
+// same accumulators a fresh collection would.
+type Delta struct {
+	dict    *xmltree.PathDict
+	docs    int64
+	nodes   int64
+	accs    []*valueAcc // dense by PathID; nil = untouched
+	touched []xmltree.PathID
+
+	// Per-document scratch, reused across documents (see Collect).
+	textAt  []xmltree.NodeID
+	textCnt []int32
+	textBuf []byte
+}
+
+// NewDelta creates an empty delta over a table's path dictionary.
+func NewDelta(dict *xmltree.PathDict) *Delta {
+	return &Delta{dict: dict}
+}
+
+// Docs returns the delta's net document count.
+func (d *Delta) Docs() int64 { return d.docs }
+
+// Empty reports whether the delta carries no changes.
+func (d *Delta) Empty() bool {
+	return d.docs == 0 && d.nodes == 0 && len(d.touched) == 0
+}
+
+// Reset clears the delta for reuse, keeping its scratch buffers.
+func (d *Delta) Reset() {
+	d.docs, d.nodes = 0, 0
+	for _, pid := range d.touched {
+		d.accs[pid] = nil
+	}
+	d.touched = d.touched[:0]
+}
+
+// CollectDoc adds one document's statistics contribution.
+func (d *Delta) CollectDoc(doc *xmltree.Document) { d.addDoc(doc, 1) }
+
+// RemoveDoc subtracts one document's statistics contribution. The
+// document must be in the state it was collected in (call before
+// mutating or after fetching the pre-image).
+func (d *Delta) RemoveDoc(doc *xmltree.Document) { d.addDoc(doc, -1) }
+
+// Merge folds another delta over the same dictionary into this one.
+func (d *Delta) Merge(other *Delta) error {
+	if other.dict != d.dict {
+		return fmt.Errorf("xstats: cannot merge deltas over different dictionaries")
+	}
+	d.docs += other.docs
+	d.nodes += other.nodes
+	for _, pid := range other.touched {
+		other.accs[pid].foldInto(d.ensure(pid))
+	}
+	return nil
+}
+
+// ensure returns the accumulator of a path, creating and registering it
+// on first touch.
+func (d *Delta) ensure(pid xmltree.PathID) *valueAcc {
+	if int(pid) >= len(d.accs) {
+		n := d.dict.Len()
+		if n <= int(pid) {
+			n = int(pid) + 1
+		}
+		grown := make([]*valueAcc, n)
+		copy(grown, d.accs)
+		d.accs = grown
+	}
+	acc := d.accs[pid]
+	if acc == nil {
+		acc = &valueAcc{strs: make(map[string]*int64), nums: make(map[float64]int64)}
+		d.accs[pid] = acc
+		d.touched = append(d.touched, pid)
+	}
+	return acc
+}
+
+// parseNumericBytes is xmltree.ParseNumeric over a trimmed byte view;
+// the string is only materialized for plausible numeric candidates
+// (xmltree.NumericLead rejects the common non-numeric case first).
+func parseNumericBytes(b []byte) (float64, bool) {
+	if len(b) == 0 || !xmltree.NumericLead(b[0]) {
+		return 0, false
+	}
+	return xmltree.ParseNumeric(string(b))
+}
+
+// addDoc runs the single-pass collection over one document with the
+// given sign (+1 insert, -1 remove): element text is accumulated once
+// from the contiguous (ID, EndID] subtree ranges, the numeric
+// interpretation parses that same string, and per-path accumulators are
+// indexed densely by the dictionary's PathIDs.
+func (d *Delta) addDoc(doc *xmltree.Document, sign int64) {
+	d.docs += sign
+	d.nodes += sign * int64(doc.Len())
+	if doc.Dict != d.dict || len(doc.PathIDs) != doc.Len() {
+		// Defensive: Table.Insert interns on the way in, so this is
+		// only reachable for documents placed by unusual means.
+		doc.InternPaths(d.dict)
+	}
+	n := doc.Len()
+
+	// textAt lists the IDs of text nodes in document order, textCnt[i]
+	// counts text nodes with ID < i, so the text nodes inside a subtree
+	// (id, end] are textAt[textCnt[id+1]:textCnt[end+1]] — element text
+	// accumulates from these contiguous ranges without walking the
+	// subtree. textBuf holds multi-text-node concatenations so interior
+	// elements do not allocate a string per node.
+	d.textAt = d.textAt[:0]
+	if cap(d.textCnt) < n+1 {
+		d.textCnt = make([]int32, n+1)
+	} else {
+		d.textCnt = d.textCnt[:n+1]
+	}
+	for i := 0; i < n; i++ {
+		d.textCnt[i] = int32(len(d.textAt))
+		if doc.Nodes[i].Kind == xmltree.Text {
+			d.textAt = append(d.textAt, xmltree.NodeID(i))
+		}
+	}
+	d.textCnt[n] = int32(len(d.textAt))
+
+	for i := 0; i < n; i++ {
+		node := &doc.Nodes[i]
+		if node.Kind == xmltree.Text {
+			continue
+		}
+		acc := d.ensure(doc.PathIDs[i])
+		acc.count += sign
+
+		// Value extraction is allocation-free: attribute and
+		// single-text values are trimmed views of existing strings, and
+		// multi-text (interior element) concatenations land in the
+		// reused byte buffer — a new string is only materialized the
+		// first time a distinct concatenated value is seen.
+		var val string
+		var valb []byte
+		concat := false
+		if node.Kind == xmltree.Attribute {
+			val = strings.TrimSpace(node.Value)
+		} else {
+			span := d.textAt[d.textCnt[node.ID+1]:d.textCnt[node.EndID+1]]
+			switch len(span) {
+			case 0:
+			case 1:
+				val = strings.TrimSpace(doc.Nodes[span[0]].Value)
+			default:
+				d.textBuf = d.textBuf[:0]
+				for _, tid := range span {
+					d.textBuf = append(d.textBuf, doc.Nodes[tid].Value...)
+				}
+				valb = bytes.TrimSpace(d.textBuf)
+				concat = true
+			}
+		}
+
+		var f float64
+		var ok bool
+		if concat {
+			acc.bytes += sign * int64(len(valb))
+			p := acc.strs[string(valb)] // no-alloc lookup
+			if p == nil {
+				p = new(int64)
+				acc.strs[string(valb)] = p
+			}
+			*p += sign
+			f, ok = parseNumericBytes(valb)
+		} else {
+			acc.bytes += sign * int64(len(val))
+			p := acc.strs[val]
+			if p == nil {
+				p = new(int64)
+				acc.strs[val] = p
+			}
+			*p += sign
+			f, ok = xmltree.ParseNumeric(val)
+		}
+		if ok {
+			if math.IsNaN(f) {
+				acc.nan += sign
+			} else {
+				acc.nums[f] += sign
+			}
+		}
+	}
+}
+
+// buildPathStat derives the immutable PathStat of one path from its
+// accumulator, pruning values whose occurrences cancelled to zero. It
+// returns nil when the path no longer has any nodes. The derivation is
+// order-independent, so it is bit-compatible with the streaming
+// collector: min/max folds, distinct counts, and equi-width histogram
+// buckets do not depend on the order values were seen in.
+func buildPathStat(dict *xmltree.PathDict, pid xmltree.PathID, acc *valueAcc) *PathStat {
+	for s, p := range acc.strs {
+		if *p == 0 {
+			delete(acc.strs, s)
+		}
+	}
+	for v, c := range acc.nums {
+		if c == 0 {
+			delete(acc.nums, v)
+		}
+	}
+	if acc.count <= 0 {
+		return nil
+	}
+	ps := &PathStat{
+		Labels:          dict.Labels(pid),
+		PathID:          pid,
+		Count:           acc.count,
+		ValueBytes:      acc.bytes,
+		DistinctStrings: int64(len(acc.strs)),
+	}
+	numeric := acc.nan
+	for _, c := range acc.nums {
+		numeric += c
+	}
+	if numeric > 0 {
+		ps.NumericCount = numeric
+		ps.DistinctNums = int64(len(acc.nums)) + acc.nan
+		if acc.nan > 0 {
+			// math.Min/Max propagate NaN, so any NaN occurrence makes
+			// the streaming fold NaN regardless of order.
+			ps.Min, ps.Max = math.NaN(), math.NaN()
+		} else {
+			first := true
+			for v := range acc.nums {
+				if first {
+					ps.Min, ps.Max = v, v
+					first = false
+				} else {
+					ps.Min = math.Min(ps.Min, v)
+					ps.Max = math.Max(ps.Max, v)
+				}
+			}
+		}
+		h := &Histogram{Min: ps.Min, Max: ps.Max, Buckets: make([]int64, histogramBuckets)}
+		for v, c := range acc.nums {
+			h.Buckets[h.bucketOf(v)] += c
+			h.Total += c
+		}
+		if acc.nan > 0 {
+			h.Buckets[h.bucketOf(math.NaN())] += acc.nan
+			h.Total += acc.nan
+		}
+		ps.Hist = h
+	}
+	return ps
+}
+
+// FromDelta materializes a TableStats snapshot from a delta describing
+// an entire table, taking ownership of the delta as the snapshot's
+// retained mergeable store (later ApplyDelta calls fold into it).
+func FromDelta(table string, version int64, d *Delta) *TableStats {
+	ts := &TableStats{
+		Table:        table,
+		Version:      version,
+		DocCount:     d.docs,
+		TotalNodes:   d.nodes,
+		Paths:        make(map[string]*PathStat),
+		dict:         d.dict,
+		acc:          d,
+		patternCache: make(map[string]PatternStats),
+		matchedCache: make(map[string][]*PathStat),
+	}
+	ts.byID = make([]*PathStat, len(d.accs))
+	ts.List = make([]*PathStat, 0, len(d.touched))
+	for _, pid := range d.touched {
+		ps := buildPathStat(d.dict, pid, d.accs[pid])
+		if ps == nil {
+			continue
+		}
+		ts.byID[pid] = ps
+		ts.Paths[ps.Path()] = ps
+		ts.List = append(ts.List, ps)
+	}
+	sort.Slice(ts.List, func(i, j int) bool { return ts.List[i].Path() < ts.List[j].Path() })
+	return ts
+}
+
+// ApplyDelta folds a delta of document insertions/removals into the
+// statistics' retained accumulator store and returns a fresh snapshot
+// at the given table version. Only paths the delta touches are
+// recomputed; every other PathStat is shared with the old snapshot, so
+// the work is proportional to the delta (plus a sort of the path list),
+// never to the table.
+//
+// The receiver must be the newest snapshot built over its store: older
+// snapshots stay valid for concurrent readers but must not apply
+// further deltas. The delta is left unchanged; callers may Reset and
+// reuse it. Statistics collected without a mergeable store (the
+// reference collector) report an error.
+func (ts *TableStats) ApplyDelta(d *Delta, version int64) (*TableStats, error) {
+	if ts.acc == nil {
+		return nil, fmt.Errorf("xstats: statistics for %q were not collected in mergeable form", ts.Table)
+	}
+	if d.dict != ts.dict {
+		return nil, fmt.Errorf("xstats: delta dictionary does not match statistics for %q", ts.Table)
+	}
+	if d == ts.acc {
+		return nil, fmt.Errorf("xstats: cannot apply statistics' own store onto itself")
+	}
+	store := ts.acc
+	store.docs += d.docs
+	store.nodes += d.nodes
+	for _, pid := range d.touched {
+		d.accs[pid].foldInto(store.ensure(pid))
+	}
+
+	out := &TableStats{
+		Table:        ts.Table,
+		Version:      version,
+		DocCount:     store.docs,
+		TotalNodes:   store.nodes,
+		dict:         ts.dict,
+		acc:          store,
+		patternCache: make(map[string]PatternStats),
+		matchedCache: make(map[string][]*PathStat),
+	}
+	out.byID = make([]*PathStat, len(store.accs))
+	copy(out.byID, ts.byID)
+	for _, pid := range d.touched {
+		out.byID[pid] = buildPathStat(ts.dict, pid, store.accs[pid])
+	}
+	out.Paths = make(map[string]*PathStat, len(ts.Paths))
+	out.List = make([]*PathStat, 0, len(ts.List))
+	for _, ps := range out.byID {
+		if ps == nil {
+			continue
+		}
+		out.Paths[ps.Path()] = ps
+		out.List = append(out.List, ps)
+	}
+	sort.Slice(out.List, func(i, j int) bool { return out.List[i].Path() < out.List[j].Path() })
+	return out, nil
+}
+
+// Merge folds another mergeable TableStats over the same dictionary
+// into this one and returns the combined snapshot at the given version
+// — the combinator for collecting disjoint document subsets separately
+// (e.g. in parallel) and unifying them. The other statistics remain
+// readable; the receiver follows the same newest-snapshot discipline as
+// ApplyDelta.
+func (ts *TableStats) Merge(other *TableStats, version int64) (*TableStats, error) {
+	if other.acc == nil {
+		return nil, fmt.Errorf("xstats: statistics for %q were not collected in mergeable form", other.Table)
+	}
+	return ts.ApplyDelta(other.acc, version)
+}

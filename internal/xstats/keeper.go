@@ -1,0 +1,150 @@
+package xstats
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xixa/internal/storage"
+	"xixa/internal/xmltree"
+)
+
+// Keeper maintains one table's statistics incrementally: it subscribes
+// to the table's change feed, accumulates insertions/removals into a
+// pending Delta, and folds the delta into the current TableStats
+// snapshot on demand. After a K-document change batch, refreshing costs
+// O(K · doc size) — never a full table re-pass — and a snapshot at
+// table version V is bit-identical to a fresh Collect at version V
+// (the xstats golden tests assert this).
+//
+// Snapshots returned by Stats are immutable and safe to share with
+// concurrent readers; the keeper alone mutates the underlying store.
+//
+// Stats sits on the optimizer's hot path (every Evaluate Indexes call
+// under a live optimizer reads it), so between mutations it is a
+// lock-free fast path: the current snapshot and observed version are
+// published atomically, and the mutex is only taken to fold pending
+// changes in after the version moved.
+type Keeper struct {
+	table *storage.Table
+
+	version atomic.Int64               // table version covered by snap ⊕ pending
+	snap    atomic.Pointer[TableStats] // latest built snapshot
+	mu      sync.Mutex                 // guards pending and snapshot rebuilds
+	pending *Delta
+}
+
+// NewKeeper builds the initial statistics for the table and subscribes
+// to its change feed. Registration and the initial scan are atomic with
+// respect to table mutations, so no change is missed or double-counted.
+func NewKeeper(t *storage.Table) *Keeper {
+	k := &Keeper{table: t}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	d := NewDelta(t.PathDict())
+	version := t.SubscribeScan(k.onChange, func(doc *xmltree.Document) {
+		d.CollectDoc(doc)
+	})
+	k.version.Store(version)
+	k.snap.Store(FromDelta(t.Name, version, d))
+	k.pending = NewDelta(t.PathDict())
+	return k
+}
+
+// onChange is the table's change listener; it runs under the table lock
+// and must not call back into the table.
+func (k *Keeper) onChange(c storage.Change) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	switch c.Kind {
+	case storage.DocInserted:
+		k.pending.CollectDoc(c.Doc)
+	case storage.DocRemoved:
+		k.pending.RemoveDoc(c.Doc)
+	}
+	k.version.Store(c.Version)
+}
+
+// Stats returns the current statistics snapshot, folding any pending
+// changes in first. Work is proportional to the changes since the last
+// call, never to the table size; when nothing changed it is two atomic
+// loads.
+func (k *Keeper) Stats() *TableStats {
+	if snap := k.snap.Load(); snap.Version == k.version.Load() {
+		// A concurrent rebuild may publish a newer snapshot between the
+		// two loads; the version recheck only ever sends that case down
+		// the locked path, never returns a stale snapshot as current.
+		return snap
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	version := k.version.Load()
+	snap := k.snap.Load()
+	if snap.Version != version {
+		ns, err := snap.ApplyDelta(k.pending, version)
+		if err != nil {
+			// Unreachable: keeper-built snapshots always carry a
+			// mergeable store over the table's own dictionary. A full
+			// re-collect here could deadlock against a mutator waiting
+			// in onChange, so treat it as the invariant violation it is.
+			panic("xstats: keeper snapshot lost its mergeable store: " + err.Error())
+		}
+		k.snap.Store(ns)
+		k.pending.Reset()
+		snap = ns
+	}
+	return snap
+}
+
+// Version returns the table version the keeper has observed (which the
+// next Stats call will cover).
+func (k *Keeper) Version() int64 { return k.version.Load() }
+
+// KeeperSet lazily maintains one Keeper per table of a database. It
+// implements the optimizer's StatsSource, making every statistics read
+// version-aware: after any table mutation the next read reflects it.
+type KeeperSet struct {
+	db *storage.Database
+
+	mu      sync.RWMutex
+	keepers map[string]*Keeper
+}
+
+// NewKeeperSet creates an empty keeper set over a database. Keepers are
+// created on first use per table (paying one initial scan each).
+func NewKeeperSet(db *storage.Database) *KeeperSet {
+	return &KeeperSet{db: db, keepers: make(map[string]*Keeper)}
+}
+
+// Keeper returns the table's keeper, creating and subscribing it on
+// first use. The steady state is a read-locked map hit, so concurrent
+// optimizer pipelines do not serialize here.
+func (ks *KeeperSet) Keeper(table string) (*Keeper, error) {
+	ks.mu.RLock()
+	k, ok := ks.keepers[table]
+	ks.mu.RUnlock()
+	if ok {
+		return k, nil
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if k, ok := ks.keepers[table]; ok {
+		return k, nil
+	}
+	t, err := ks.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	k = NewKeeper(t)
+	ks.keepers[table] = k
+	return k, nil
+}
+
+// TableStats returns the table's current statistics snapshot (the
+// StatsSource contract).
+func (ks *KeeperSet) TableStats(table string) (*TableStats, error) {
+	k, err := ks.Keeper(table)
+	if err != nil {
+		return nil, err
+	}
+	return k.Stats(), nil
+}

@@ -17,10 +17,7 @@
 package xstats
 
 import (
-	"bytes"
 	"math"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -78,6 +75,13 @@ type TableStats struct {
 	dict *xmltree.PathDict
 	byID []*PathStat
 
+	// acc is the retained mergeable accumulator store (see delta.go):
+	// exact value multisets that ApplyDelta folds change deltas into, so
+	// statistics track a live insert/delete stream without re-scanning
+	// the table. Nil for the reference collector, whose stats cannot be
+	// incrementally maintained.
+	acc *Delta
+
 	// mu guards the caches below. A read-write lock because ForPattern
 	// is on the optimizer's hot path and, once warm, is all cache hits —
 	// parallel advisor pipelines would otherwise serialize here.
@@ -101,177 +105,18 @@ func (ts *TableStats) ByPathID(id xmltree.PathID) *PathStat {
 	return ts.byID[id]
 }
 
-// pathAcc is the per-path accumulator state used during collection that
-// does not survive into PathStat.
-type pathAcc struct {
-	ps          *PathStat
-	distinctStr map[string]struct{}
-	distinctNum map[float64]struct{}
-	samples     []float64
-}
-
-// parseNumericBytes is xmltree.ParseNumeric over a trimmed byte view;
-// the string is only materialized for plausible numeric candidates
-// (xmltree.NumericLead rejects the common non-numeric case first).
-func parseNumericBytes(b []byte) (float64, bool) {
-	if len(b) == 0 || !xmltree.NumericLead(b[0]) {
-		return 0, false
-	}
-	v, err := strconv.ParseFloat(string(b), 64)
-	if err != nil {
-		return 0, false
-	}
-	return v, true
-}
-
 // Collect scans every document of the table and builds its synopsis in
-// one linear pass per document. This is the system's RUNSTATS.
+// one linear pass per document. This is the system's RUNSTATS. The
+// result retains its mergeable accumulator store, so it can be kept
+// current under updates with ApplyDelta instead of re-collecting.
 func Collect(t *storage.Table) *TableStats {
-	dict := t.PathDict()
-	ts := &TableStats{
-		Table:        t.Name,
-		Version:      t.Version(),
-		Paths:        make(map[string]*PathStat),
-		dict:         dict,
-		patternCache: make(map[string]PatternStats),
-		matchedCache: make(map[string][]*PathStat),
-	}
-
-	var accs []pathAcc
-	// Per-document scratch, reused across documents: textAt lists the
-	// IDs of text nodes in document order, textCnt[i] counts text nodes
-	// with ID < i, so the text nodes inside a subtree (id, end] are
-	// textAt[textCnt[id+1]:textCnt[end+1]] — element text accumulates
-	// from these contiguous ranges without walking the subtree. textBuf
-	// holds multi-text-node concatenations so interior elements do not
-	// allocate a string per node.
-	var textAt []xmltree.NodeID
-	var textCnt []int32
-	var textBuf []byte
-
+	version := t.Version()
+	d := NewDelta(t.PathDict())
 	t.Scan(func(doc *xmltree.Document) bool {
-		ts.DocCount++
-		ts.TotalNodes += int64(doc.Len())
-		if doc.Dict != dict || len(doc.PathIDs) != doc.Len() {
-			// Defensive: Table.Insert interns on the way in, so this is
-			// only reachable for documents placed by unusual means.
-			doc.InternPaths(dict)
-		}
-		n := doc.Len()
-		textAt = textAt[:0]
-		if cap(textCnt) < n+1 {
-			textCnt = make([]int32, n+1)
-		} else {
-			textCnt = textCnt[:n+1]
-		}
-		for i := 0; i < n; i++ {
-			textCnt[i] = int32(len(textAt))
-			if doc.Nodes[i].Kind == xmltree.Text {
-				textAt = append(textAt, xmltree.NodeID(i))
-			}
-		}
-		textCnt[n] = int32(len(textAt))
-
-		for i := 0; i < n; i++ {
-			node := &doc.Nodes[i]
-			if node.Kind == xmltree.Text {
-				continue
-			}
-			pid := doc.PathIDs[i]
-			if int(pid) >= len(accs) {
-				grown := make([]pathAcc, dict.Len())
-				copy(grown, accs)
-				accs = grown
-			}
-			acc := &accs[pid]
-			if acc.ps == nil {
-				acc.ps = &PathStat{PathID: pid}
-				acc.distinctStr = make(map[string]struct{})
-				acc.distinctNum = make(map[float64]struct{})
-			}
-			ps := acc.ps
-
-			// Value extraction is allocation-free: attribute and
-			// single-text values are trimmed views of existing strings,
-			// and multi-text (interior element) concatenations land in
-			// the reused byte buffer — a new string is only materialized
-			// the first time a distinct concatenated value (or one of its
-			// numeric candidates) is seen.
-			var val string
-			var valb []byte
-			concat := false
-			if node.Kind == xmltree.Attribute {
-				val = strings.TrimSpace(node.Value)
-			} else {
-				span := textAt[textCnt[node.ID+1]:textCnt[node.EndID+1]]
-				switch len(span) {
-				case 0:
-				case 1:
-					val = strings.TrimSpace(doc.Nodes[span[0]].Value)
-				default:
-					textBuf = textBuf[:0]
-					for _, tid := range span {
-						textBuf = append(textBuf, doc.Nodes[tid].Value...)
-					}
-					valb = bytes.TrimSpace(textBuf)
-					concat = true
-				}
-			}
-
-			ps.Count++
-			var f float64
-			var ok bool
-			if concat {
-				ps.ValueBytes += int64(len(valb))
-				if _, seen := acc.distinctStr[string(valb)]; !seen { // no-alloc lookup
-					acc.distinctStr[string(valb)] = struct{}{}
-					ps.DistinctStrings++
-				}
-				f, ok = parseNumericBytes(valb)
-			} else {
-				ps.ValueBytes += int64(len(val))
-				if _, seen := acc.distinctStr[val]; !seen {
-					acc.distinctStr[val] = struct{}{}
-					ps.DistinctStrings++
-				}
-				f, ok = xmltree.ParseNumeric(val)
-			}
-			if ok {
-				if ps.NumericCount == 0 {
-					ps.Min, ps.Max = f, f
-				} else {
-					ps.Min = math.Min(ps.Min, f)
-					ps.Max = math.Max(ps.Max, f)
-				}
-				ps.NumericCount++
-				acc.samples = append(acc.samples, f)
-				if _, seen := acc.distinctNum[f]; !seen {
-					acc.distinctNum[f] = struct{}{}
-					ps.DistinctNums++
-				}
-			}
-		}
+		d.CollectDoc(doc)
 		return true
 	})
-
-	ts.byID = make([]*PathStat, len(accs))
-	ts.List = make([]*PathStat, 0, len(accs))
-	for pid := range accs {
-		acc := &accs[pid]
-		if acc.ps == nil {
-			continue
-		}
-		ps := acc.ps
-		ps.Labels = dict.Labels(xmltree.PathID(pid))
-		if len(acc.samples) > 0 {
-			ps.Hist = newHistogram(ps.Min, ps.Max, acc.samples)
-		}
-		ts.byID[pid] = ps
-		ts.Paths[dict.Path(xmltree.PathID(pid))] = ps
-		ts.List = append(ts.List, ps)
-	}
-	sort.Slice(ts.List, func(i, j int) bool { return ts.List[i].Path() < ts.List[j].Path() })
-	return ts
+	return FromDelta(t.Name, version, d)
 }
 
 // AvgNodesPerDoc returns the mean document size in nodes.
