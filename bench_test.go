@@ -17,6 +17,7 @@ import (
 	"xixa/internal/experiments"
 
 	"xixa/internal/optimizer"
+	"xixa/internal/server"
 	"xixa/internal/storage"
 	"xixa/internal/tpox"
 	"xixa/internal/workload"
@@ -575,6 +576,116 @@ func BenchmarkStatsRefreshAfterDelta(b *testing.B) {
 		}
 		b.StartTimer()
 		keeper.Stats()
+	}
+}
+
+// --- serving daemon / online build benchmarks (PR 4) ---
+
+// BenchmarkServeThroughput measures statement throughput through the
+// serving layer — session admission, capture sampling, and the
+// lock-free catalog read path included — at full client parallelism
+// (b.RunParallel). The untuned arm serves table-scan plans; the tuned
+// arm first lets the tuning loop materialize the workload's index
+// online, which is exactly what the autonomous daemon buys a live
+// deployment.
+func BenchmarkServeThroughput(b *testing.B) {
+	run := func(b *testing.B, tune bool) {
+		db, err := tpox.NewDatabase(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := server.New(db, server.Config{BuildAfter: 1})
+		defer srv.Close()
+		stmts := make([]*xquery.Statement, 64)
+		for i := range stmts {
+			stmts[i] = xquery.MustParse(fmt.Sprintf(
+				`for $s in SECURITY('SDOC')/Security where $s/Symbol = "%s" return $s`, tpox.SymbolOf(i*13%1000)))
+		}
+		if tune {
+			// Prime the capture and materialize the Symbol index online.
+			sess, err := srv.NewSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.ExecuteStmt(stmts[0]); err != nil {
+				b.Fatal(err)
+			}
+			sess.Close()
+			rep, err := srv.TuneOnce()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rep.Built) == 0 {
+				b.Fatal("tuning built no index")
+			}
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			sess, err := srv.NewSession()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer sess.Close()
+			i := 0
+			for pb.Next() {
+				if _, err := sess.ExecuteStmt(stmts[i%len(stmts)]); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	}
+	b.Run("untuned", func(b *testing.B) { run(b, false) })
+	b.Run("tuned", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkOnlineBuildCatchup measures one BuildOnline of the Symbol
+// index on a TPoX-scale table while a concurrent writer churns
+// insert/delete pairs — the capture/buffer/catch-up state machine under
+// real contention, versus BenchmarkIndexBuild's quiet-table cost.
+func BenchmarkOnlineBuildCatchup(b *testing.B) {
+	db, err := tpox.NewDatabase(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := db.Table(tpox.TableSecurity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	def := xindex.Definition{
+		Table:   tpox.TableSecurity,
+		Pattern: xpath.MustParsePattern("/Security/Symbol"),
+		Type:    xpath.StringVal,
+	}
+	mkDoc := func(i int) *xmltree.Document {
+		return xmltree.NewBuilder().
+			Begin("Security").Leaf("Symbol", fmt.Sprintf("CHURN%06d", i)).End().Document()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := tbl.Insert(mkDoc(j))
+				tbl.Delete(id)
+			}
+		}()
+		idx, err := xindex.BuildOnline(tbl, def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		close(stop)
+		<-done
+		idx.Release()
 	}
 }
 

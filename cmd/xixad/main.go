@@ -1,0 +1,301 @@
+// Command xixad is the xixa serving daemon: a concurrent server over a
+// TPoX (or snapshot-restored) database that executes statements from
+// many clients, captures the live workload, and runs the paper's index
+// advisor autonomously — recommendations are materialized online, with
+// writers never blocked, and dropped again when the workload moves on.
+//
+// Usage:
+//
+//	xixad [-addr :4095] [-scale N] [-snapshot file] [-tune-interval 30s]
+//	      [-budget-mb N] [-algorithm topdown-full] [-demo N]
+//
+// With -snapshot, the daemon restores the database AND the materialized
+// index catalog from the file at startup (warm start: index plans serve
+// immediately), and persists both on graceful shutdown (SIGINT/SIGTERM).
+//
+// The wire protocol is line-oriented: one statement per line, responses
+// are "| ..." result lines followed by an "OK ..." summary, or an
+// "ERR ..." line. Meta commands:
+//
+//	\indexes            list the materialized catalog with sizes
+//	\tune               run one advisor round on the captured workload
+//	\stats              session + server counters
+//	\explain <stmt>     show the plan without executing
+//	\quit               close the connection
+//
+// With -demo N, the daemon instead drives N synthetic client goroutines
+// against itself for a few seconds and prints what the tuning loop did
+// — a no-network quickstart.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"xixa/internal/core"
+	"xixa/internal/server"
+	"xixa/internal/tpox"
+	"xixa/internal/xmltree"
+	"xixa/internal/xquery"
+)
+
+func main() {
+	addr := flag.String("addr", ":4095", "listen address (empty disables the listener)")
+	scale := flag.Int("scale", 1, "TPoX scale factor when no snapshot exists")
+	snapshot := flag.String("snapshot", "", "snapshot file: restored on start (if present), saved on shutdown")
+	tuneEvery := flag.Duration("tune-interval", 30*time.Second, "autonomous tuning period (0 disables)")
+	budgetMB := flag.Int64("budget-mb", 0, "disk budget for materialized indexes in MB (0 = All-Index size)")
+	algorithm := flag.String("algorithm", core.AlgoTopDownFull, "advisor search algorithm")
+	demo := flag.Int("demo", 0, "drive N synthetic clients against the daemon and exit")
+	parallelism := flag.Int("parallelism", 0, "advisor fan-out width (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := server.Config{
+		TuneInterval: *tuneEvery,
+		Budget:       *budgetMB << 20,
+		Algorithm:    *algorithm,
+		Parallelism:  *parallelism,
+	}
+
+	var srv *server.Server
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			log.Printf("restoring snapshot %s", *snapshot)
+			restored, err := server.OpenSnapshot(*snapshot, cfg)
+			if err != nil {
+				log.Fatalf("xixad: restore: %v", err)
+			}
+			srv = restored
+			log.Printf("warm start: %d indexes materialized", len(srv.Catalog().Definitions()))
+		}
+	}
+	if srv == nil {
+		log.Printf("generating TPoX data (scale %d)", *scale)
+		db, err := tpox.NewDatabase(*scale)
+		if err != nil {
+			log.Fatalf("xixad: %v", err)
+		}
+		srv = server.New(db, cfg)
+	}
+
+	srv.StartAutoTune(func(rep *server.TuneReport, err error) {
+		if err != nil {
+			log.Printf("tune: %v", err)
+			return
+		}
+		if !rep.Skipped {
+			log.Print(rep)
+		}
+	})
+
+	if *demo > 0 {
+		runDemo(srv, *demo)
+		shutdown(srv, *snapshot)
+		return
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	if *addr == "" {
+		// Headless: no listener — the daemon just keeps its database,
+		// capture, and tuning loop alive until a signal arrives.
+		// (net.Listen("tcp", "") would NOT mean "off": it binds a
+		// random port on all interfaces.)
+		log.Printf("no listen address; running headless (tune every %v)", *tuneEvery)
+		<-sigc
+		log.Print("shutting down")
+		shutdown(srv, *snapshot)
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("xixad: listen: %v", err)
+	}
+	log.Printf("serving on %s (tune every %v)", ln.Addr(), *tuneEvery)
+
+	go func() {
+		<-sigc
+		log.Print("shutting down")
+		ln.Close()
+	}()
+
+	var conns sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			serveConn(srv, conn)
+		}()
+	}
+	conns.Wait()
+	shutdown(srv, *snapshot)
+}
+
+func shutdown(srv *server.Server, snapshot string) {
+	if snapshot != "" {
+		if err := srv.SaveSnapshot(snapshot); err != nil {
+			log.Printf("xixad: snapshot: %v", err)
+		} else {
+			log.Printf("snapshot saved to %s (%d indexes)", snapshot, len(srv.Catalog().Definitions()))
+		}
+	}
+	srv.Close()
+}
+
+func serveConn(srv *server.Server, conn net.Conn) {
+	defer conn.Close()
+	sess, err := srv.NewSession()
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	defer sess.Close()
+	out := bufio.NewWriter(conn)
+	fmt.Fprintf(out, "OK xixad session %d\n", sess.ID())
+	out.Flush()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\quit` || line == "quit" {
+			fmt.Fprintln(out, "OK bye")
+			out.Flush()
+			return
+		}
+		handleLine(srv, sess, out, line)
+		out.Flush()
+	}
+}
+
+func handleLine(srv *server.Server, sess *server.Session, out *bufio.Writer, line string) {
+	switch {
+	case line == `\indexes`:
+		for _, def := range srv.Catalog().Definitions() {
+			idx, ok := srv.Catalog().Get(def)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(out, "| %s  (%d entries, %d levels, %d bytes)\n",
+				def, idx.Entries(), idx.Levels(), idx.SizeBytes())
+		}
+		fmt.Fprintf(out, "OK %d indexes, %d bytes total\n",
+			len(srv.Catalog().Definitions()), srv.Catalog().TotalSizeBytes())
+	case line == `\tune`:
+		rep, err := srv.TuneOnce()
+		if err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "OK %s\n", rep)
+	case line == `\stats`:
+		st, executed, errs := sess.Stats()
+		fmt.Fprintf(out, "| session: %d statements, %d errors, %.0f work units\n", executed, errs, st.WorkUnits())
+		fmt.Fprintf(out, "| server: %s\n", srv)
+		fmt.Fprintln(out, "OK")
+	case strings.HasPrefix(line, `\explain `):
+		plan, err := sess.Explain(strings.TrimPrefix(line, `\explain `))
+		if err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "OK %s (base cost %.0f)\n", plan, plan.EstBaseCost)
+	default:
+		stmt, err := xquery.Parse(line)
+		if err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			return
+		}
+		res, err := sess.ExecuteStmt(stmt)
+		if err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			return
+		}
+		tbl, err := srv.DB().Table(stmt.Table)
+		for i, r := range res.Refs {
+			if i >= 5 {
+				fmt.Fprintf(out, "| ... (%d more)\n", len(res.Refs)-i)
+				break
+			}
+			if err != nil {
+				break
+			}
+			if doc, ok := tbl.Get(r.Doc); ok {
+				text := xmltree.SerializeString(doc)
+				if len(text) > 120 {
+					text = text[:120] + "..."
+				}
+				fmt.Fprintf(out, "| %s\n", text)
+			}
+		}
+		fmt.Fprintf(out, "OK %d results, %d nodes scanned, %d index entries, %d docs fetched\n",
+			len(res.Refs), res.Stats.NodesScanned, res.Stats.IndexEntriesRead, res.Stats.DocsFetched)
+	}
+}
+
+// runDemo drives n synthetic clients against the server for a few
+// rounds, tuning between them, and prints the progression from table
+// scans to index plans — the zero-to-aha path without a client.
+func runDemo(srv *server.Server, n int) {
+	queries := tpox.Queries()
+	var wg sync.WaitGroup
+	round := func(r int) {
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				sess, err := srv.NewSession()
+				if err != nil {
+					log.Printf("demo client %d: %v", c, err)
+					return
+				}
+				defer sess.Close()
+				for i := 0; i < 20; i++ {
+					q := queries[(c*7+i)%len(queries)]
+					if _, err := sess.Execute(q); err != nil && err != server.ErrOverloaded {
+						log.Printf("demo client %d: %v", c, err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	for r := 1; r <= 3; r++ {
+		start := time.Now()
+		round(r)
+		rep, err := srv.TuneOnce()
+		if err != nil {
+			log.Printf("demo tune: %v", err)
+			return
+		}
+		log.Printf("demo round %d: %d clients x 20 stmts in %v; %s",
+			r, n, time.Since(start).Round(time.Millisecond), rep)
+	}
+	sess, err := srv.NewSession()
+	if err != nil {
+		return
+	}
+	defer sess.Close()
+	plan, err := sess.Explain(queries[tpox.PaperQ1])
+	if err == nil {
+		log.Printf("demo: Q1 now plans as %s", plan)
+	}
+}

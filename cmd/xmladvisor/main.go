@@ -69,7 +69,22 @@ func main() {
 		}
 		db = loaded
 		if len(defs) > 0 {
-			fmt.Printf("Snapshot carries %d index definitions\n", len(defs))
+			// Rebuild the snapshot's materialized catalog (definitions
+			// persist, contents rebuild on load) so the report shows
+			// the configuration the DBA already has, with real sizes,
+			// next to what the advisor recommends.
+			idxs, err := persist.RebuildIndexes(db, defs)
+			if err != nil {
+				fatal(err)
+			}
+			var total int64
+			for _, idx := range idxs {
+				total += idx.SizeBytes()
+			}
+			fmt.Printf("Snapshot carries %d materialized indexes (%d bytes rebuilt):\n", len(idxs), total)
+			for _, idx := range idxs {
+				fmt.Printf("  %s  (%d entries, %d bytes)\n", idx.Def, idx.Entries(), idx.SizeBytes())
+			}
 		}
 	case *tpoxScale > 0:
 		if err := tpox.Generate(db, tpox.DefaultConfig(*tpoxScale)); err != nil {

@@ -1,20 +1,26 @@
 // Command xqshell is an interactive shell over a generated TPoX
 // database: type workload statements and see plans, results, and work
-// counters — with or without the advisor's recommended indexes.
+// counters — with or without the advisor's recommended indexes. The
+// shell runs on the same serving layer as the xixad daemon, so every
+// executed statement lands in the workload capture ring and one
+// advisor round away from materialized indexes.
 //
 // Usage:
 //
 //	xqshell [-scale N] [-autoindex]
 //
 // With -autoindex, the shell first runs the advisor on the 11-query
-// TPoX workload and materializes the recommended indexes, so EXPLAIN
-// output shows index plans.
+// TPoX workload and materializes the recommended indexes (online), so
+// EXPLAIN output shows index plans immediately.
 //
 // Shell commands:
 //
 //	<statement>          execute a query/insert/delete/update
 //	explain <statement>  show the plan without executing
-//	indexes              list materialized indexes
+//	\tune                run one advisor round on the session's captured
+//	                     workload and materialize/drop indexes online
+//	\indexes             list the materialized catalog with sizes
+//	indexes              (alias for \indexes)
 //	quit
 package main
 
@@ -25,19 +31,16 @@ import (
 	"os"
 	"strings"
 
-	"xixa/internal/core"
-	"xixa/internal/engine"
-	"xixa/internal/optimizer"
+	"xixa/internal/server"
 	"xixa/internal/tpox"
 	"xixa/internal/workload"
-	"xixa/internal/xindex"
 	"xixa/internal/xmltree"
 	"xixa/internal/xquery"
 )
 
 func main() {
 	scale := flag.Int("scale", 1, "TPoX scale factor")
-	autoindex := flag.Bool("autoindex", false, "run the advisor and materialize its recommendation")
+	autoindex := flag.Bool("autoindex", false, "run the advisor and materialize its recommendation before the prompt")
 	flag.Parse()
 
 	fmt.Printf("Generating TPoX data (scale %d)...\n", *scale)
@@ -45,36 +48,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	// Live statistics: the shell executes inserts/deletes/updates, and
-	// plans must track them instead of costing against the load-time
-	// synopsis.
-	opt := optimizer.NewLive(db)
-	cat := engine.NewCatalog()
-	eng := engine.New(db, opt, cat)
+	// The serving layer brings live statistics (plans track the shell's
+	// inserts/deletes/updates), workload capture, and online index
+	// builds; hysteresis 1 so \tune acts immediately.
+	srv := server.New(db, server.Config{BuildAfter: 1, DropAfter: 1})
+	defer srv.Close()
+	sess, err := srv.NewSession()
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
 
 	if *autoindex {
 		w, err := workload.ParseStatements(tpox.Queries())
 		if err != nil {
 			fatal(err)
 		}
-		adv, err := core.New(db, opt, w, core.DefaultOptions())
+		for _, it := range w.Items {
+			srv.Capture().Observe(it.Stmt, float64(it.Freq))
+		}
+		rep, err := srv.TuneOnce()
 		if err != nil {
 			fatal(err)
 		}
-		rec, err := adv.Recommend(core.AlgoTopDownFull, adv.AllIndexSize())
-		if err != nil {
-			fatal(err)
-		}
-		for _, def := range rec.Definitions() {
-			tbl, err := db.Table(def.Table)
-			if err != nil {
-				continue
-			}
-			idx, err := xindex.Build(tbl, def)
-			if err != nil {
-				fatal(err)
-			}
-			cat.Add(idx)
+		for _, def := range rep.Built {
 			fmt.Printf("created index %s\n", def)
 		}
 	}
@@ -91,22 +88,31 @@ func main() {
 		switch {
 		case line == "" || strings.HasPrefix(line, "#"):
 			continue
-		case line == "quit" || line == "exit":
+		case line == "quit" || line == "exit" || line == `\quit`:
 			return
-		case line == "indexes":
-			for _, def := range cat.Definitions() {
-				idx, _ := cat.Get(def)
-				fmt.Printf("  %s  (%d entries, %d levels, %d bytes)\n",
-					def, idx.Entries(), idx.Levels(), idx.SizeBytes())
-			}
+		case line == "indexes" || line == `\indexes`:
+			listIndexes(srv)
 			continue
-		case strings.HasPrefix(line, "explain "):
-			stmt, err := xquery.Parse(strings.TrimPrefix(line, "explain "))
+		case line == `\tune`:
+			rep, err := srv.TuneOnce()
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			plan, err := opt.EvaluateIndexes(stmt, cat.Definitions())
+			if rep.Skipped {
+				fmt.Println("  nothing captured yet — execute some statements first")
+				continue
+			}
+			fmt.Printf("  %s\n", rep)
+			for _, def := range rep.Built {
+				fmt.Printf("  created index %s\n", def)
+			}
+			for _, def := range rep.Dropped {
+				fmt.Printf("  dropped index %s\n", def)
+			}
+			continue
+		case strings.HasPrefix(line, "explain "):
+			plan, err := sess.Explain(strings.TrimPrefix(line, "explain "))
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -119,17 +125,17 @@ func main() {
 			fmt.Println("error:", err)
 			continue
 		}
-		refs, st, err := eng.Execute(stmt)
+		res, err := sess.ExecuteStmt(stmt)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
-		for i, r := range refs {
+		for i, r := range res.Refs {
 			if i >= 5 {
-				fmt.Printf("  ... (%d more)\n", len(refs)-5)
+				fmt.Printf("  ... (%d more)\n", len(res.Refs)-5)
 				break
 			}
-			tbl, err := db.Table(stmt.Table)
+			tbl, err := srv.DB().Table(stmt.Table)
 			if err != nil {
 				continue
 			}
@@ -141,9 +147,27 @@ func main() {
 				fmt.Printf("  %s\n", text)
 			}
 		}
+		st := res.Stats
 		fmt.Printf("  %d results, %v, %d nodes scanned, %d index entries, %d docs fetched\n",
-			len(refs), st.Elapsed, st.NodesScanned, st.IndexEntriesRead, st.DocsFetched)
+			len(res.Refs), st.Elapsed, st.NodesScanned, st.IndexEntriesRead, st.DocsFetched)
 	}
+}
+
+func listIndexes(srv *server.Server) {
+	defs := srv.Catalog().Definitions()
+	if len(defs) == 0 {
+		fmt.Println("  (no indexes materialized — try \\tune)")
+		return
+	}
+	for _, def := range defs {
+		idx, ok := srv.Catalog().Get(def)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %s  (%d entries, %d levels, %d bytes)\n",
+			def, idx.Entries(), idx.Levels(), idx.SizeBytes())
+	}
+	fmt.Printf("  total %d bytes\n", srv.Catalog().TotalSizeBytes())
 }
 
 func fatal(err error) {

@@ -19,6 +19,9 @@
 //     statement dialects, including pattern containment.
 //   - internal/xmltree, storage, btree, xindex, xstats, engine,
 //     persist — the database substrate.
+//   - internal/server — the concurrent serving layer: sessions,
+//     admission control, live workload capture, and the autonomous
+//     tuning loop behind cmd/xixad.
 //   - internal/tpox, xmark — benchmark data and workload generators.
 //   - internal/experiments — regenerates every table and figure of the
 //     paper's evaluation.
@@ -54,6 +57,20 @@
 // bit-identical to a cold optimizer on freshly collected statistics.
 // Engine-driven flows (cmd/xqshell, examples/autonomous, the
 // update-stream experiment) run in this mode.
+//
+// # Serving and autonomous tuning
+//
+// internal/server closes the paper's loop: many concurrent sessions
+// execute against one live engine (queries lock-free against mutators
+// — copy-on-write documents and catalog snapshots — with bounded
+// admission), executed statements land in a decaying workload capture
+// ring keyed by normalized statement, and a tuning loop periodically
+// runs the advisor on the capture, materializing recommendations with
+// online index builds (xindex.BuildOnline: snapshot, build aside,
+// catch up from the change feed, swap atomically — writers never
+// block) and dropping abandoned indexes with hysteresis. cmd/xixad is
+// the daemon; snapshots persist the materialized catalog so restarts
+// come up warm.
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for regenerating the paper's evaluation.

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"xixa/internal/optimizer"
+	"xixa/internal/storage"
+	"xixa/internal/workload"
+)
+
+// Advise runs one full advisor round — enumerate, generalize, search —
+// over a workload and returns the recommendation. It is the one-shot
+// entry point the serving layer's tuning loop and the shell's \tune
+// command use: each round constructs a fresh advisor so candidate
+// statistics and benefits reflect the optimizer's current statistics
+// snapshot rather than state cached when the advisor was first built.
+func Advise(db *storage.Database, opt *optimizer.Optimizer, w *workload.Workload,
+	opts Options, algorithm string, budget int64) (*Recommendation, error) {
+	adv, err := New(db, opt, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		budget = adv.AllIndexSize()
+	}
+	return adv.Recommend(algorithm, budget)
+}

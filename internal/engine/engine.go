@@ -11,6 +11,8 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"xixa/internal/optimizer"
@@ -25,66 +27,149 @@ import (
 // catalog maintains its indexes sorted by definition key, so the
 // per-statement listing calls (Definitions, ForTable, TotalSizeBytes)
 // iterate a ready-sorted slice instead of re-sorting on every call.
+//
+// The catalog is safe for concurrent use and its read path is
+// lock-free: the index set lives in an immutable state published
+// through an atomic pointer, so the serving daemon's tuning loop can
+// swap indexes in and out (Add/Drop) while statements read the catalog
+// without taking any lock. A statement pins one View for its whole
+// execution, so the plan it chose and the indexes it probes can never
+// disagree even if the catalog changes mid-statement.
 type Catalog struct {
+	mu    sync.Mutex // serializes writers (Add/Drop)
+	state atomic.Pointer[catalogState]
+}
+
+// catalogState is one immutable catalog configuration.
+type catalogState struct {
 	indexes map[string]*xindex.Index
 	keys    []string        // sorted definition keys
 	sorted  []*xindex.Index // indexes aligned with keys
 }
 
+var emptyCatalogState = &catalogState{indexes: map[string]*xindex.Index{}}
+
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{indexes: make(map[string]*xindex.Index)}
+	c := &Catalog{}
+	c.state.Store(emptyCatalogState)
+	return c
 }
 
-// Add registers a built index.
-func (c *Catalog) Add(idx *xindex.Index) {
-	key := idx.Def.Key()
-	pos := sort.SearchStrings(c.keys, key)
-	if _, exists := c.indexes[key]; exists {
-		c.sorted[pos] = idx
-	} else {
-		c.keys = append(c.keys, "")
-		copy(c.keys[pos+1:], c.keys[pos:])
-		c.keys[pos] = key
-		c.sorted = append(c.sorted, nil)
-		copy(c.sorted[pos+1:], c.sorted[pos:])
-		c.sorted[pos] = idx
+// clone copies the state for a writer about to modify it.
+func (s *catalogState) clone() *catalogState {
+	out := &catalogState{
+		indexes: make(map[string]*xindex.Index, len(s.indexes)+1),
+		keys:    append([]string(nil), s.keys...),
+		sorted:  append([]*xindex.Index(nil), s.sorted...),
 	}
-	c.indexes[key] = idx
+	for k, v := range s.indexes {
+		out.indexes[k] = v
+	}
+	return out
+}
+
+// Add registers a built index, atomically publishing the new
+// configuration.
+func (c *Catalog) Add(idx *xindex.Index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.state.Load().clone()
+	key := idx.Def.Key()
+	pos := sort.SearchStrings(s.keys, key)
+	if _, exists := s.indexes[key]; exists {
+		s.sorted[pos] = idx
+	} else {
+		s.keys = append(s.keys, "")
+		copy(s.keys[pos+1:], s.keys[pos:])
+		s.keys[pos] = key
+		s.sorted = append(s.sorted, nil)
+		copy(s.sorted[pos+1:], s.sorted[pos:])
+		s.sorted[pos] = idx
+	}
+	s.indexes[key] = idx
+	c.state.Store(s)
 }
 
 // Drop removes an index by definition, reporting whether it existed.
+// Views pinned before the drop still resolve the index; callers that
+// must wait for them to finish use the serving layer's drain barrier
+// (xindex.Manager.DropDeferred).
 func (c *Catalog) Drop(def xindex.Definition) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := def.Key()
-	if _, ok := c.indexes[key]; !ok {
+	s := c.state.Load()
+	if _, ok := s.indexes[key]; !ok {
 		return false
 	}
-	delete(c.indexes, key)
-	pos := sort.SearchStrings(c.keys, key)
-	c.keys = append(c.keys[:pos], c.keys[pos+1:]...)
-	c.sorted = append(c.sorted[:pos], c.sorted[pos+1:]...)
+	s = s.clone()
+	delete(s.indexes, key)
+	pos := sort.SearchStrings(s.keys, key)
+	s.keys = append(s.keys[:pos], s.keys[pos+1:]...)
+	s.sorted = append(s.sorted[:pos], s.sorted[pos+1:]...)
+	c.state.Store(s)
 	return true
 }
 
+// View pins the current configuration: an immutable snapshot that
+// answers Get/Definitions/ForTable consistently no matter what Add and
+// Drop do afterwards. Views are cheap (one atomic load) and need no
+// release.
+func (c *Catalog) View() View { return View{s: c.state.Load()} }
+
 // Get fetches the index materializing a definition.
 func (c *Catalog) Get(def xindex.Definition) (*xindex.Index, bool) {
-	idx, ok := c.indexes[def.Key()]
-	return idx, ok
+	return c.View().Get(def)
 }
 
 // Definitions lists the catalog's definitions in deterministic order.
 func (c *Catalog) Definitions() []xindex.Definition {
-	out := make([]xindex.Definition, len(c.sorted))
-	for i, idx := range c.sorted {
+	return c.View().Definitions()
+}
+
+// ForTable returns the indexes on one table.
+func (c *Catalog) ForTable(table string) []*xindex.Index {
+	return c.View().ForTable(table)
+}
+
+// TotalSizeBytes sums the materialized index sizes.
+func (c *Catalog) TotalSizeBytes() int64 {
+	return c.View().TotalSizeBytes()
+}
+
+// View is an immutable catalog snapshot. The zero View is empty.
+type View struct {
+	s *catalogState
+}
+
+func (v View) state() *catalogState {
+	if v.s == nil {
+		return emptyCatalogState
+	}
+	return v.s
+}
+
+// Get fetches the index materializing a definition.
+func (v View) Get(def xindex.Definition) (*xindex.Index, bool) {
+	idx, ok := v.state().indexes[def.Key()]
+	return idx, ok
+}
+
+// Definitions lists the view's definitions in deterministic order.
+func (v View) Definitions() []xindex.Definition {
+	s := v.state()
+	out := make([]xindex.Definition, len(s.sorted))
+	for i, idx := range s.sorted {
 		out[i] = idx.Def
 	}
 	return out
 }
 
-// ForTable returns the indexes on one table.
-func (c *Catalog) ForTable(table string) []*xindex.Index {
+// ForTable returns the view's indexes on one table.
+func (v View) ForTable(table string) []*xindex.Index {
 	var out []*xindex.Index
-	for _, idx := range c.sorted {
+	for _, idx := range v.state().sorted {
 		if idx.Def.Table == table {
 			out = append(out, idx)
 		}
@@ -92,10 +177,10 @@ func (c *Catalog) ForTable(table string) []*xindex.Index {
 	return out
 }
 
-// TotalSizeBytes sums the materialized index sizes.
-func (c *Catalog) TotalSizeBytes() int64 {
+// TotalSizeBytes sums the view's materialized index sizes.
+func (v View) TotalSizeBytes() int64 {
 	var total int64
-	for _, idx := range c.sorted {
+	for _, idx := range v.state().sorted {
 		total += idx.SizeBytes()
 	}
 	return total
@@ -153,20 +238,29 @@ func New(db *storage.Database, opt *optimizer.Optimizer, cat *Catalog) *Engine {
 
 // Execute optimizes the statement against the catalog's real indexes
 // and runs the chosen plan. It returns the bound result nodes (for
-// queries) and the execution statistics.
+// queries) and the execution statistics. The catalog configuration is
+// pinned once for the whole statement, so a concurrent index swap or
+// drop can never leave the chosen plan pointing at an index the
+// execution cannot resolve.
 func (e *Engine) Execute(stmt *xquery.Statement) ([]xindex.Ref, Stats, error) {
 	if e.recorder != nil {
 		e.recorder.Record(stmt)
 	}
-	plan, err := e.opt.EvaluateIndexes(stmt, e.cat.Definitions())
+	view := e.cat.View()
+	plan, err := e.opt.EvaluateIndexes(stmt, view.Definitions())
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return e.ExecutePlan(plan)
+	return e.executePlan(plan, view)
 }
 
-// ExecutePlan runs an already-chosen plan.
+// ExecutePlan runs an already-chosen plan against the current catalog
+// configuration.
 func (e *Engine) ExecutePlan(plan *optimizer.Plan) ([]xindex.Ref, Stats, error) {
+	return e.executePlan(plan, e.cat.View())
+}
+
+func (e *Engine) executePlan(plan *optimizer.Plan, view View) ([]xindex.Ref, Stats, error) {
 	start := time.Now()
 	var refs []xindex.Ref
 	var st Stats
@@ -174,13 +268,13 @@ func (e *Engine) ExecutePlan(plan *optimizer.Plan) ([]xindex.Ref, Stats, error) 
 	stmt := plan.Stmt
 	switch stmt.Kind {
 	case xquery.Query:
-		refs, st, err = e.runQuery(plan)
+		refs, st, err = e.runQuery(plan, view)
 	case xquery.Insert:
-		st, err = e.runInsert(stmt)
+		st, err = e.runInsert(stmt, view)
 	case xquery.Delete:
-		st, err = e.runDelete(plan)
+		st, err = e.runDelete(plan, view)
 	case xquery.Update:
-		st, err = e.runUpdate(plan)
+		st, err = e.runUpdate(plan, view)
 	default:
 		err = fmt.Errorf("engine: unsupported statement kind %v", stmt.Kind)
 	}
@@ -190,7 +284,7 @@ func (e *Engine) ExecutePlan(plan *optimizer.Plan) ([]xindex.Ref, Stats, error) 
 
 // matchDocs finds the documents satisfying the statement's normalized
 // path, either by table scan or via the plan's index accesses.
-func (e *Engine) matchDocs(plan *optimizer.Plan, st *Stats) ([]*xmltree.Document, error) {
+func (e *Engine) matchDocs(plan *optimizer.Plan, view View, st *Stats) ([]*xmltree.Document, error) {
 	stmt := plan.Stmt
 	tbl, err := e.db.Table(stmt.Table)
 	if err != nil {
@@ -213,7 +307,7 @@ func (e *Engine) matchDocs(plan *optimizer.Plan, st *Stats) ([]*xmltree.Document
 	// Index ANDing: intersect candidate document sets from each access.
 	var candidates map[int64]bool
 	for _, acc := range plan.Accesses {
-		idx, ok := e.cat.Get(acc.Index)
+		idx, ok := view.Get(acc.Index)
 		if !ok {
 			return nil, fmt.Errorf("engine: plan references unmaterialized index %s", acc.Index)
 		}
@@ -255,9 +349,9 @@ func (e *Engine) matchDocs(plan *optimizer.Plan, st *Stats) ([]*xmltree.Document
 	return out, nil
 }
 
-func (e *Engine) runQuery(plan *optimizer.Plan) ([]xindex.Ref, Stats, error) {
+func (e *Engine) runQuery(plan *optimizer.Plan, view View) ([]xindex.Ref, Stats, error) {
 	var st Stats
-	docs, err := e.matchDocs(plan, &st)
+	docs, err := e.matchDocs(plan, view, &st)
 	if err != nil {
 		return nil, st, err
 	}
@@ -272,7 +366,20 @@ func (e *Engine) runQuery(plan *optimizer.Plan) ([]xindex.Ref, Stats, error) {
 	return refs, st, nil
 }
 
-func (e *Engine) runInsert(stmt *xquery.Statement) (Stats, error) {
+// maintain applies one maintenance callback to every engine-maintained
+// index of a table. Self-maintained (online-built) indexes are skipped:
+// they update themselves synchronously from the table's change feed,
+// and applying engine maintenance on top would double-apply entries.
+func maintain(view View, table string, st *Stats, apply func(*xindex.Index) int) {
+	for _, idx := range view.ForTable(table) {
+		if idx.SelfMaintained() {
+			continue
+		}
+		st.IndexEntriesTouched += int64(apply(idx))
+	}
+}
+
+func (e *Engine) runInsert(stmt *xquery.Statement, view View) (Stats, error) {
 	var st Stats
 	tbl, err := e.db.Table(stmt.Table)
 	if err != nil {
@@ -286,15 +393,13 @@ func (e *Engine) runInsert(stmt *xquery.Statement) (Stats, error) {
 	doc := cloneDoc(stmt.Doc)
 	tbl.Insert(doc)
 	st.DocsModified++
-	for _, idx := range e.cat.ForTable(stmt.Table) {
-		st.IndexEntriesTouched += int64(idx.OnInsert(doc))
-	}
+	maintain(view, stmt.Table, &st, func(idx *xindex.Index) int { return idx.OnInsert(doc) })
 	return st, nil
 }
 
-func (e *Engine) runDelete(plan *optimizer.Plan) (Stats, error) {
+func (e *Engine) runDelete(plan *optimizer.Plan, view View) (Stats, error) {
 	var st Stats
-	docs, err := e.matchDocs(plan, &st)
+	docs, err := e.matchDocs(plan, view, &st)
 	if err != nil {
 		return st, err
 	}
@@ -303,19 +408,18 @@ func (e *Engine) runDelete(plan *optimizer.Plan) (Stats, error) {
 		return st, err
 	}
 	for _, doc := range docs {
-		for _, idx := range e.cat.ForTable(plan.Stmt.Table) {
-			st.IndexEntriesTouched += int64(idx.OnDelete(doc))
-		}
+		d := doc
+		maintain(view, plan.Stmt.Table, &st, func(idx *xindex.Index) int { return idx.OnDelete(d) })
 		tbl.Delete(doc.DocID)
 		st.DocsModified++
 	}
 	return st, nil
 }
 
-func (e *Engine) runUpdate(plan *optimizer.Plan) (Stats, error) {
+func (e *Engine) runUpdate(plan *optimizer.Plan, view View) (Stats, error) {
 	var st Stats
 	stmt := plan.Stmt
-	docs, err := e.matchDocs(plan, &st)
+	docs, err := e.matchDocs(plan, view, &st)
 	if err != nil {
 		return st, err
 	}
@@ -324,28 +428,27 @@ func (e *Engine) runUpdate(plan *optimizer.Plan) (Stats, error) {
 		return st, err
 	}
 	for _, doc := range docs {
-		// Remove the document's entries, mutate, re-add. Only indexes
-		// covering the updated node actually change, but the engine
-		// performs the full cycle the way a naive maintenance pass
-		// would; the counters reflect entries actually touched. The
-		// mutation itself goes through the table so its version advances
-		// and change subscribers (the incremental statistics keeper) see
-		// the pre- and post-images.
+		// Copy-on-write: clone the document, rewrite the targeted
+		// leaves in the clone, and swap it in under the old ID
+		// (Table.Replace). The pre-image is never mutated, so readers
+		// evaluating it concurrently see a consistent snapshot, and
+		// change subscribers (statistics keeper, online indexes) get an
+		// immutable pre-image in the DocRemoved event and the new
+		// document in the DocInserted event. Engine-maintained indexes
+		// still pay the remove-entries/re-add cycle a naive maintenance
+		// pass would; the counters reflect entries actually touched.
 		targets := xpath.Eval(doc, xpath.Concat(stmt.Match.StripPreds(), stmt.SetPath))
 		if len(targets) == 0 {
 			continue
 		}
-		for _, idx := range e.cat.ForTable(stmt.Table) {
-			st.IndexEntriesTouched += int64(idx.OnDelete(doc))
+		newDoc := cloneDoc(doc)
+		for _, id := range targets {
+			setNodeText(newDoc, id, stmt.SetValue)
 		}
-		tbl.Update(doc.DocID, func(d *xmltree.Document) {
-			for _, id := range targets {
-				setNodeText(d, id, stmt.SetValue)
-			}
-		})
-		for _, idx := range e.cat.ForTable(stmt.Table) {
-			st.IndexEntriesTouched += int64(idx.OnInsert(doc))
-		}
+		pre := doc
+		maintain(view, stmt.Table, &st, func(idx *xindex.Index) int { return idx.OnDelete(pre) })
+		tbl.Replace(doc.DocID, newDoc)
+		maintain(view, stmt.Table, &st, func(idx *xindex.Index) int { return idx.OnInsert(newDoc) })
 		st.DocsModified++
 	}
 	return st, nil

@@ -175,16 +175,17 @@ func TestStaleStaticStatsDiverge(t *testing.T) {
 }
 
 // TestConcurrentQueriesAndMutations drives concurrent queries and
-// inserts/deletes through one engine on one table with live statistics
-// — the -race exercise for the storage change feed, the statistics
-// keeper, and the optimizer's snapshot handling. Afterwards the
-// keeper's statistics must equal a fresh full collection.
+// inserts/updates/deletes through one engine on one table with live
+// statistics — the -race exercise for the storage change feed, the
+// statistics keeper, and the optimizer's snapshot handling. Afterwards
+// the keeper's statistics must equal a fresh full collection.
 //
-// UPDATE statements are deliberately absent from the writer mix: they
-// rewrite document values in place, which is documented as unsafe
-// against readers evaluating previously fetched documents
-// (storage.Table.Update's concurrency caveat, inherited from the seed
-// engine's single-writer update semantics).
+// UPDATE statements joined the writer mix when the engine's update
+// path became copy-on-write (storage.Table.Replace): readers evaluate
+// immutable pre-images, so value rewrites are safe against concurrent
+// statement execution. (The writers still serialize among themselves,
+// as the serving layer's writer lock does: two engine UPDATEs racing
+// each other could interleave their index remove/re-add cycles.)
 func TestConcurrentQueriesAndMutations(t *testing.T) {
 	db, liveOpt, eng, _ := liveFixture(t, 200)
 	tbl, err := db.Table("SECURITY")
@@ -217,20 +218,31 @@ func TestConcurrentQueriesAndMutations(t *testing.T) {
 			}
 		}(r)
 	}
+	// One writer lock shared by the writer goroutines, mirroring the
+	// serving layer: mutators serialize among themselves but run
+	// concurrently with the readers above.
+	var writeMu sync.Mutex
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func(seed int) {
 			defer wg.Done()
 			for i := 0; i < opsPerGor; i++ {
 				var raw string
-				if i%2 == 0 {
+				switch i % 3 {
+				case 0:
 					raw = fmt.Sprintf(
 						`insert into SECURITY value <Security><Symbol>W%d-%04d</Symbol><Yield>%d.%d</Yield></Security>`,
 						seed, i, i%12, i%10)
-				} else {
-					raw = fmt.Sprintf(`delete from SECURITY where /Security[Symbol="W%d-%04d"]`, seed, i-1)
+				case 1:
+					raw = fmt.Sprintf(`update SECURITY set Yield = %d.75 where /Security[Symbol="W%d-%04d"]`,
+						i%15, seed, i-1)
+				default:
+					raw = fmt.Sprintf(`delete from SECURITY where /Security[Symbol="W%d-%04d"]`, seed, i-2)
 				}
-				if _, _, err := eng.Execute(xquery.MustParse(raw)); err != nil {
+				writeMu.Lock()
+				_, _, err := eng.Execute(xquery.MustParse(raw))
+				writeMu.Unlock()
+				if err != nil {
 					errs <- err
 					return
 				}

@@ -330,3 +330,35 @@ func TestUpdateStreamExperiment(t *testing.T) {
 		t.Errorf("doc counts %d -> %d do not reflect the net mix", rows[0].Docs, rows[1].Docs)
 	}
 }
+
+func TestServeTuneExperiment(t *testing.T) {
+	rows, err := ServeTune(io.Discard, 1, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i, row := range rows {
+		if row.Statements == 0 || row.Mutations == 0 {
+			t.Errorf("round %d: %d statements, %d mutations", i+1, row.Statements, row.Mutations)
+		}
+		if row.Captured == 0 {
+			t.Errorf("round %d captured nothing", i+1)
+		}
+	}
+	// Hysteresis (BuildAfter=2): round 1 builds nothing, round 2
+	// materializes the captured workload's indexes online.
+	if rows[0].Built != 0 {
+		t.Errorf("round 1 built %d indexes despite hysteresis", rows[0].Built)
+	}
+	if rows[1].Built == 0 || rows[1].Indexes == 0 {
+		t.Errorf("round 2 built %d (catalog %d), want online materialization", rows[1].Built, rows[1].Indexes)
+	}
+	// Once tuned, per-statement work collapses: round 3's average work
+	// per statement must be well under round 1's.
+	per := func(r ServeTuneRow) float64 { return r.WorkUnits / float64(r.Statements) }
+	if per(rows[2]) >= per(rows[0])/2 {
+		t.Errorf("tuning did not pay off: %.0f work/stmt before, %.0f after", per(rows[0]), per(rows[2]))
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"xixa/internal/server"
+	"xixa/internal/tpox"
+)
+
+// ServeTuneRow is one sampled round of the serve-while-tune scenario.
+type ServeTuneRow struct {
+	Round      int
+	Statements int     // client statements executed this round
+	Mutations  int     // mutator statements executed this round
+	ElapsedMS  float64 // wall-clock of the round's serving phase
+	WorkUnits  float64 // engine work units across client statements
+	Captured   int     // distinct statements in the capture ring
+	Built      int     // indexes materialized by this round's tuning
+	Dropped    int     // indexes dropped by this round's tuning
+	Indexes    int     // catalog size after the round
+	TuneMS     float64 // advisor round cost
+}
+
+// ServeTune runs the serving daemon's end-to-end scenario: `clients`
+// concurrent sessions replay the TPoX query mix against the server
+// while a mutator session streams inserts/updates/deletes, and the
+// autonomous tuning loop runs one round per serving phase. The printed
+// progression shows the server discovering its own configuration from
+// captured traffic: round 1 serves table scans and accumulates
+// hysteresis streak, round 2 materializes the indexes online
+// mid-traffic, later rounds serve index plans — work units per round
+// collapse accordingly while the mutator keeps every index honest.
+func ServeTune(w io.Writer, scale, clients, rounds int) ([]ServeTuneRow, error) {
+	db, err := tpox.NewDatabase(scale)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(db, server.Config{BuildAfter: 2, DropAfter: 3})
+	defer srv.Close()
+
+	queries := tpox.Queries()
+	fmt.Fprintf(w, "Serve-while-tune (scale %d, %d client sessions + 1 mutator, autonomous advisor per round)\n",
+		scale, clients)
+	fmt.Fprintf(w, "%5s %10s %9s %10s %12s %9s %7s %7s %8s %8s\n",
+		"round", "statements", "mutations", "elapsed-ms", "work-units", "captured", "built", "dropped", "indexes", "tune-ms")
+
+	var rows []ServeTuneRow
+	for round := 1; round <= rounds; round++ {
+		row := ServeTuneRow{Round: round}
+		start := time.Now()
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients+1)
+		var mu sync.Mutex // guards row counters
+
+		// Mutator: one TPoX-style transaction burst per round,
+		// concurrent with the clients.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := srv.NewSession()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer sess.Close()
+			n := 0
+			exec := func(raw string) bool {
+				if _, err := sess.Execute(raw); err != nil && err != server.ErrOverloaded {
+					errCh <- fmt.Errorf("mutator: %w", err)
+					return false
+				}
+				n++
+				return true
+			}
+			for i := 0; i < 20; i++ {
+				sym := fmt.Sprintf("SRV%03d%03d", round, i)
+				if !exec(fmt.Sprintf(`insert into SECURITY value <Security><Symbol>%s</Symbol><Yield>%d.%d</Yield><SecInfo><StockInformation><Sector>Served</Sector></StockInformation></SecInfo></Security>`, sym, i%12, i%10)) {
+					return
+				}
+				if !exec(fmt.Sprintf(`update SECURITY set Yield = %d.75 where /Security[Symbol="%s"]`, i%15, sym)) {
+					return
+				}
+				if !exec(fmt.Sprintf(`delete from SECURITY where /Security[Symbol="%s"]`, sym)) {
+					return
+				}
+			}
+			mu.Lock()
+			row.Mutations += n
+			mu.Unlock()
+		}()
+
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				sess, err := srv.NewSession()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer sess.Close()
+				n := 0
+				for i := 0; i < 3*len(queries); i++ {
+					q := queries[(c*5+i)%len(queries)]
+					res, err := sess.Execute(q)
+					if err == server.ErrOverloaded {
+						continue
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("client %d: %w", c, err)
+						return
+					}
+					n++
+					mu.Lock()
+					row.WorkUnits += res.Stats.WorkUnits()
+					mu.Unlock()
+				}
+				mu.Lock()
+				row.Statements += n
+				mu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return rows, err
+		}
+		row.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		row.Captured = srv.Capture().Len()
+
+		rep, err := srv.TuneOnce()
+		if err != nil {
+			return rows, err
+		}
+		row.Built = len(rep.Built)
+		row.Dropped = len(rep.Dropped)
+		row.Indexes = len(srv.Catalog().Definitions())
+		row.TuneMS = float64(rep.Elapsed.Microseconds()) / 1000
+
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%5d %10d %9d %10.1f %12.0f %9d %7d %7d %8d %8.2f\n",
+			row.Round, row.Statements, row.Mutations, row.ElapsedMS, row.WorkUnits,
+			row.Captured, row.Built, row.Dropped, row.Indexes, row.TuneMS)
+	}
+	fmt.Fprintf(w, "work units collapse once the tuning loop materializes the captured workload's indexes (round %d).\n",
+		min(2, rounds))
+	return rows, nil
+}

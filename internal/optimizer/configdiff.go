@@ -1,0 +1,44 @@
+package optimizer
+
+import (
+	"sort"
+
+	"xixa/internal/xindex"
+)
+
+// DiffConfigs compares the materialized index configuration against a
+// recommended one and returns the definitions to build (recommended but
+// not materialized) and to drop (materialized but no longer
+// recommended), each sorted by canonical key. Identity is the
+// definition key (table, predicate-stripped pattern, type) — the same
+// identity the catalog and the sub-configuration cache use — so a
+// recommendation that re-derives an equivalent pattern with different
+// cosmetic predicates does not churn the catalog.
+func DiffConfigs(materialized, recommended []xindex.Definition) (toBuild, toDrop []xindex.Definition) {
+	have := make(map[string]bool, len(materialized))
+	for _, def := range materialized {
+		have[def.Key()] = true
+	}
+	want := make(map[string]bool, len(recommended))
+	for _, def := range recommended {
+		key := def.Key()
+		if want[key] {
+			continue // duplicate in recommendation
+		}
+		want[key] = true
+		if !have[key] {
+			toBuild = append(toBuild, def)
+		}
+	}
+	for _, def := range materialized {
+		if !want[def.Key()] {
+			toDrop = append(toDrop, def)
+		}
+	}
+	byKey := func(defs []xindex.Definition) {
+		sort.Slice(defs, func(i, j int) bool { return defs[i].Key() < defs[j].Key() })
+	}
+	byKey(toBuild)
+	byKey(toDrop)
+	return toBuild, toDrop
+}

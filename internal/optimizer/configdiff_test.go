@@ -1,0 +1,46 @@
+package optimizer
+
+import (
+	"testing"
+
+	"xixa/internal/xindex"
+	"xixa/internal/xpath"
+)
+
+func def(pattern string, kind xpath.ValueKind) xindex.Definition {
+	return xindex.Definition{Table: "SECURITY", Pattern: xpath.MustParsePattern(pattern), Type: kind}
+}
+
+func TestDiffConfigs(t *testing.T) {
+	symbol := def("/Security/Symbol", xpath.StringVal)
+	yield := def("/Security/Yield", xpath.NumberVal)
+	sector := def("/Security/SecInfo/*/Sector", xpath.StringVal)
+
+	toBuild, toDrop := DiffConfigs(
+		[]xindex.Definition{symbol, yield},
+		[]xindex.Definition{yield, sector, sector}, // duplicate recommendation collapses
+	)
+	if len(toBuild) != 1 || toBuild[0].Key() != sector.Key() {
+		t.Fatalf("toBuild = %v", toBuild)
+	}
+	if len(toDrop) != 1 || toDrop[0].Key() != symbol.Key() {
+		t.Fatalf("toDrop = %v", toDrop)
+	}
+
+	// Identical configurations: empty diff, no churn.
+	toBuild, toDrop = DiffConfigs(
+		[]xindex.Definition{symbol, yield},
+		[]xindex.Definition{yield, symbol},
+	)
+	if len(toBuild) != 0 || len(toDrop) != 0 {
+		t.Fatalf("identical configs diffed: build=%v drop=%v", toBuild, toDrop)
+	}
+
+	// Deterministic order: sorted by definition key.
+	toBuild, _ = DiffConfigs(nil, []xindex.Definition{yield, sector, symbol})
+	for i := 1; i < len(toBuild); i++ {
+		if toBuild[i-1].Key() >= toBuild[i].Key() {
+			t.Fatalf("toBuild not key-sorted: %v", toBuild)
+		}
+	}
+}

@@ -380,6 +380,28 @@ func readDoc(cr *checkedReader) (*xmltree.Document, error) {
 	return doc, nil
 }
 
+// RebuildIndexes materializes the snapshot's persisted index catalog
+// against the loaded database — the warm-start half of the format's
+// "definitions only; rebuild on load" contract (index contents are
+// reconstructed from data, like a REORG, so they can never disagree
+// with the documents). The indexes come back in the order the
+// definitions were saved; definitions whose table is missing fail.
+func RebuildIndexes(db *storage.Database, defs []xindex.Definition) ([]*xindex.Index, error) {
+	out := make([]*xindex.Index, 0, len(defs))
+	for _, def := range defs {
+		tbl, err := db.Table(def.Table)
+		if err != nil {
+			return nil, fmt.Errorf("persist: rebuilding %s: %w", def, err)
+		}
+		idx, err := xindex.Build(tbl, def)
+		if err != nil {
+			return nil, fmt.Errorf("persist: rebuilding %s: %w", def, err)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
 // SaveFile writes a snapshot to path atomically (temp file + rename).
 func SaveFile(path string, db *storage.Database, defs []xindex.Definition) error {
 	tmp := path + ".tmp"

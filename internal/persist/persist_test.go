@@ -317,3 +317,54 @@ func TestV1SnapshotsStillLoad(t *testing.T) {
 		}
 	}
 }
+
+// TestRebuildIndexesWarmStart asserts the catalog half of the format's
+// contract: definitions persist, contents rebuild on load, and the
+// rebuilt indexes answer probes exactly like the pre-snapshot ones.
+func TestRebuildIndexesWarmStart(t *testing.T) {
+	db := storage.NewDatabase()
+	if err := tpox.Generate(db, tpox.Config{Securities: 40, Orders: 10, Customers: 5, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table(tpox.TableSecurity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before []*xindex.Index
+	for _, def := range snapshotDefs() {
+		idx, err := xindex.Build(tbl, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = append(before, idx)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveDatabase(&buf, db, snapshotDefs()); err != nil {
+		t.Fatal(err)
+	}
+	db2, defs, err := LoadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := RebuildIndexes(db2, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != len(before) {
+		t.Fatalf("rebuilt %d indexes, want %d", len(rebuilt), len(before))
+	}
+	for i := range rebuilt {
+		if rebuilt[i].Def.Key() != before[i].Def.Key() {
+			t.Fatalf("rebuilt[%d] = %s, want %s", i, rebuilt[i].Def, before[i].Def)
+		}
+		if rebuilt[i].Entries() != before[i].Entries() {
+			t.Fatalf("%s: rebuilt %d entries, had %d", rebuilt[i].Def, rebuilt[i].Entries(), before[i].Entries())
+		}
+	}
+
+	// Unknown table fails loudly instead of silently skipping.
+	if _, err := RebuildIndexes(storage.NewDatabase(), defs); err == nil {
+		t.Fatal("RebuildIndexes against empty database succeeded")
+	}
+}

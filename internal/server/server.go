@@ -1,0 +1,374 @@
+// Package server is the serving layer: it executes statements from
+// many concurrent client sessions against one live engine, captures
+// the executed workload, and (tuner.go) runs the paper's advisor
+// autonomously over that capture, materializing its recommendations
+// online. It is the piece that turns the batch advisor reproduction
+// into a self-tuning server — the deployment the paper positions the
+// advisor for, where workload capture happens inside the running DBMS
+// and recommendations feed back without stopping traffic.
+//
+// Concurrency model:
+//
+//   - Queries execute concurrently and never take a server-wide lock.
+//     The read path is lock-free against mutators: the catalog is read
+//     through immutable snapshots (engine.View), documents are
+//     immutable (updates are copy-on-write storage.Table.Replace), and
+//     statistics snapshots publish through atomic pointers.
+//   - Mutating statements serialize on a single writer lock among
+//     themselves, but proceed concurrently with queries.
+//   - Admission control bounds the statements in the system: at most
+//     MaxConcurrent execute while QueueDepth more wait; past that,
+//     Execute fails fast with ErrOverloaded instead of building an
+//     unbounded backlog.
+//   - Index drops defer their release until every statement in flight
+//     at drop time has finished (the gate barrier), so a plan chosen
+//     against the old configuration can still probe the index it
+//     references.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xixa/internal/core"
+	"xixa/internal/engine"
+	"xixa/internal/optimizer"
+	"xixa/internal/storage"
+	"xixa/internal/workload"
+	"xixa/internal/xindex"
+	"xixa/internal/xquery"
+)
+
+// Errors returned by the admission and session layers.
+var (
+	// ErrOverloaded reports that the bounded work queue is full; the
+	// client should back off and retry.
+	ErrOverloaded = errors.New("server: overloaded (work queue full)")
+	// ErrTooManySessions reports the session cap was hit.
+	ErrTooManySessions = errors.New("server: too many sessions")
+	// ErrClosed reports the server has shut down.
+	ErrClosed = errors.New("server: closed")
+)
+
+// Config tunes the serving layer. The zero value selects sensible
+// defaults everywhere.
+type Config struct {
+	// MaxConcurrent caps statements executing simultaneously
+	// (0 = GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth caps statements waiting for an execution slot beyond
+	// the executing ones (0 = 4x MaxConcurrent).
+	QueueDepth int
+	// MaxSessions caps open sessions (0 = 256).
+	MaxSessions int
+
+	// CaptureSize bounds the workload capture ring
+	// (0 = workload.DefaultCaptureSize).
+	CaptureSize int
+	// DecayFactor is the per-tuning-round exponential decay applied to
+	// captured statement weights (0 = 0.7).
+	DecayFactor float64
+	// DecayFloor evaporates captured entries whose decayed weight falls
+	// below it (0 = 0.25).
+	DecayFloor float64
+
+	// Algorithm is the advisor search the tuning loop runs
+	// ("" = core.AlgoTopDownFull).
+	Algorithm string
+	// Budget is the disk budget in bytes for recommended indexes
+	// (0 = the All-Index size of each round's candidates).
+	Budget int64
+	// BuildAfter is the build hysteresis: a definition must appear in
+	// this many consecutive recommendations before it is materialized
+	// (0 = 2). 1 materializes immediately.
+	BuildAfter int
+	// DropAfter is the drop hysteresis: a materialized index must be
+	// absent from this many consecutive recommendations before it is
+	// dropped (0 = 3).
+	DropAfter int
+	// TuneInterval is the autonomous tuning period for StartAutoTune
+	// (0 = autonomous tuning disabled; TuneOnce still works).
+	TuneInterval time.Duration
+	// Parallelism is threaded into each advisor round
+	// (core.Options.Parallelism).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.CaptureSize <= 0 {
+		c.CaptureSize = workload.DefaultCaptureSize
+	}
+	if c.DecayFactor <= 0 || c.DecayFactor >= 1 {
+		c.DecayFactor = 0.7
+	}
+	if c.DecayFloor <= 0 {
+		c.DecayFloor = 0.25
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = core.AlgoTopDownFull
+	}
+	if c.BuildAfter <= 0 {
+		c.BuildAfter = 2
+	}
+	if c.DropAfter <= 0 {
+		c.DropAfter = 3
+	}
+	return c
+}
+
+// gate is the in-flight statement barrier deferred drops wait on:
+// statements enter the current epoch's WaitGroup; a barrier swaps in a
+// fresh epoch and waits only for the statements that entered before the
+// swap, so continuous traffic cannot stall a drop forever.
+type gate struct {
+	mu sync.Mutex
+	wg *sync.WaitGroup
+}
+
+func (g *gate) enter() *sync.WaitGroup {
+	g.mu.Lock()
+	wg := g.wg
+	wg.Add(1)
+	g.mu.Unlock()
+	return wg
+}
+
+// barrier blocks until every statement in flight at call time finishes.
+func (g *gate) barrier() {
+	g.mu.Lock()
+	old := g.wg
+	g.wg = &sync.WaitGroup{}
+	g.mu.Unlock()
+	old.Wait()
+}
+
+// Server is the concurrent serving daemon core.
+type Server struct {
+	cfg Config
+
+	db  *storage.Database
+	opt *optimizer.Optimizer
+	cat *engine.Catalog
+	eng *engine.Engine
+	mgr *xindex.Manager
+
+	capture *workload.Capture
+
+	admit   chan struct{} // bounds statements in the system
+	slots   chan struct{} // bounds statements executing
+	writeMu sync.Mutex    // serializes mutating statements
+	flight  gate          // in-flight barrier for deferred drops
+
+	sessMu   sync.Mutex
+	sessions int
+	nextSess int64
+
+	tuner  tuner
+	closed atomic.Bool
+
+	loopMu   sync.Mutex
+	loopStop chan struct{}
+	loopDone chan struct{}
+}
+
+// New creates a server over a database: a live (incrementally
+// maintained) optimizer, an initially empty index catalog, and an
+// engine wired to both.
+func New(db *storage.Database, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	opt := optimizer.NewLive(db)
+	cat := engine.NewCatalog()
+	s := &Server{
+		cfg:     cfg,
+		db:      db,
+		opt:     opt,
+		cat:     cat,
+		eng:     engine.New(db, opt, cat),
+		capture: workload.NewCapture(cfg.CaptureSize),
+		admit:   make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.flight.wg = &sync.WaitGroup{}
+	s.mgr = xindex.NewManager(db, cat, s.flight.barrier)
+	s.tuner.init(cfg)
+	return s
+}
+
+// DB returns the underlying database.
+func (s *Server) DB() *storage.Database { return s.db }
+
+// Optimizer returns the server's live optimizer.
+func (s *Server) Optimizer() *optimizer.Optimizer { return s.opt }
+
+// Catalog returns the materialized index catalog.
+func (s *Server) Catalog() *engine.Catalog { return s.cat }
+
+// Capture returns the live workload capture ring.
+func (s *Server) Capture() *workload.Capture { return s.capture }
+
+// Manager returns the online index lifecycle manager.
+func (s *Server) Manager() *xindex.Manager { return s.mgr }
+
+// Session is one client's handle on the server, carrying per-session
+// execution statistics. Sessions are safe for concurrent use, though
+// clients typically issue one statement at a time.
+type Session struct {
+	srv *Server
+	id  int64
+
+	mu       sync.Mutex
+	stats    engine.Stats
+	executed int64
+	errors   int64
+	closed   bool
+}
+
+// NewSession opens a session, failing with ErrTooManySessions past the
+// cap.
+func (s *Server) NewSession() (*Session, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if s.sessions >= s.cfg.MaxSessions {
+		return nil, ErrTooManySessions
+	}
+	s.sessions++
+	s.nextSess++
+	return &Session{srv: s, id: s.nextSess}, nil
+}
+
+// ID returns the session's server-assigned identifier.
+func (sess *Session) ID() int64 { return sess.id }
+
+// Close releases the session's slot. Closing twice is a no-op.
+func (sess *Session) Close() {
+	sess.mu.Lock()
+	wasClosed := sess.closed
+	sess.closed = true
+	sess.mu.Unlock()
+	if wasClosed {
+		return
+	}
+	sess.srv.sessMu.Lock()
+	sess.srv.sessions--
+	sess.srv.sessMu.Unlock()
+}
+
+// Stats returns the session's accumulated execution statistics and the
+// number of statements executed and failed.
+func (sess *Session) Stats() (engine.Stats, int64, int64) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.stats, sess.executed, sess.errors
+}
+
+// Result is one statement's outcome.
+type Result struct {
+	// Refs are the bound result nodes (queries only).
+	Refs []xindex.Ref
+	// Stats are the execution work counters.
+	Stats engine.Stats
+}
+
+// Execute parses and executes one statement.
+func (sess *Session) Execute(raw string) (*Result, error) {
+	stmt, err := xquery.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	return sess.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt executes a parsed statement under admission control: it
+// fails fast with ErrOverloaded when the bounded work queue is full,
+// otherwise waits for an execution slot. Queries run concurrently;
+// mutating statements additionally serialize on the writer lock. Every
+// successful execution is sampled into the workload capture ring.
+func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
+	s := sess.srv
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		return nil, ErrOverloaded
+	}
+	defer func() { <-s.admit }()
+
+	s.slots <- struct{}{} // bounded wait for an execution slot
+	defer func() { <-s.slots }()
+
+	wg := s.flight.enter()
+	defer wg.Done()
+
+	if stmt.Kind != xquery.Query {
+		s.writeMu.Lock()
+		defer s.writeMu.Unlock()
+	}
+
+	refs, st, err := s.eng.Execute(stmt)
+	sess.mu.Lock()
+	if err != nil {
+		sess.errors++
+	} else {
+		sess.stats.Add(st)
+		sess.executed++
+	}
+	sess.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.capture.Observe(stmt, 1)
+	return &Result{Refs: refs, Stats: st}, nil
+}
+
+// Explain returns the plan the optimizer would choose for the
+// statement under the current index configuration, without executing.
+func (sess *Session) Explain(raw string) (*optimizer.Plan, error) {
+	stmt, err := xquery.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	return sess.srv.opt.EvaluateIndexes(stmt, sess.srv.cat.Definitions())
+}
+
+// Close shuts the server down: the autonomous tuning loop stops, new
+// statements are rejected with ErrClosed, in-flight statements drain,
+// and every online-built index releases its change-feed subscription —
+// the database is caller-owned and may outlive the server, and a dead
+// server's indexes must not keep taxing its mutations.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.StopAutoTune()
+	s.flight.barrier()
+	for _, def := range s.cat.Definitions() {
+		if idx, ok := s.cat.Get(def); ok {
+			idx.Release()
+		}
+	}
+}
+
+// String summarizes the server state for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("server{sessions=%d indexes=%d captured=%d}",
+		func() int { s.sessMu.Lock(); defer s.sessMu.Unlock(); return s.sessions }(),
+		len(s.cat.Definitions()), s.capture.Len())
+}

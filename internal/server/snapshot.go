@@ -1,0 +1,36 @@
+package server
+
+import (
+	"xixa/internal/persist"
+)
+
+// OpenSnapshot restores a server from a persist snapshot: the
+// database loads from disk and every persisted index definition is
+// rebuilt and swapped into the catalog before the first session opens,
+// so a restarted daemon serves index plans immediately instead of
+// coming up cold and waiting for the tuning loop to rediscover its
+// configuration. The rebuilt indexes go through the online build path,
+// leaving them feed-maintained exactly like tuning-loop-built ones.
+func OpenSnapshot(path string, cfg Config) (*Server, error) {
+	db, defs, err := persist.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := New(db, cfg)
+	for _, def := range defs {
+		if _, err := s.mgr.EnsureBuilt(def); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SaveSnapshot persists the database and the materialized index
+// catalog (definitions only — contents rebuild on load). The writer
+// lock is held for the duration, so mutating statements pause while
+// the snapshot streams out; queries proceed.
+func (s *Server) SaveSnapshot(path string) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return persist.SaveFile(path, s.db, s.cat.Definitions())
+}

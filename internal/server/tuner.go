@@ -1,0 +1,196 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"xixa/internal/core"
+	"xixa/internal/optimizer"
+	"xixa/internal/xindex"
+)
+
+// tuner holds the autonomous tuning loop's state between rounds: the
+// hysteresis streaks that keep a churning workload from thrashing the
+// catalog. A definition must be recommended in BuildAfter consecutive
+// rounds before it is built, and a materialized index must be absent
+// from DropAfter consecutive recommendations before it is dropped —
+// one round's blip in either direction resets the other direction's
+// streak.
+type tuner struct {
+	cfg         Config
+	round       int
+	buildStreak map[string]int
+	dropStreak  map[string]int
+}
+
+func (t *tuner) init(cfg Config) {
+	t.cfg = cfg
+	t.buildStreak = make(map[string]int)
+	t.dropStreak = make(map[string]int)
+}
+
+// TuneReport is the outcome of one tuning round.
+type TuneReport struct {
+	Round int
+	// Skipped reports that the round did nothing because no workload
+	// has been captured yet.
+	Skipped bool
+	// WorkloadSize is the number of unique captured statements fed to
+	// the advisor.
+	WorkloadSize int
+	// Recommended is the advisor's configuration for this round.
+	Recommended []xindex.Definition
+	// Built and Dropped are the definitions actually materialized and
+	// dropped this round, after hysteresis.
+	Built   []xindex.Definition
+	Dropped []xindex.Definition
+	// PendingBuild and PendingDrop count definitions accumulating
+	// streak toward a future build or drop.
+	PendingBuild int
+	PendingDrop  int
+	// Benefit is the advisor's estimated workload benefit of the
+	// recommended configuration.
+	Benefit float64
+	Elapsed time.Duration
+}
+
+// String renders the report as one log line.
+func (r *TuneReport) String() string {
+	if r.Skipped {
+		return fmt.Sprintf("tune round %d: skipped (no captured workload)", r.Round)
+	}
+	return fmt.Sprintf("tune round %d: %d stmts -> %d recommended, built %d, dropped %d (pending %d/%d) in %v",
+		r.Round, r.WorkloadSize, len(r.Recommended), len(r.Built), len(r.Dropped),
+		r.PendingBuild, r.PendingDrop, r.Elapsed.Round(time.Millisecond))
+}
+
+// TuneOnce runs one tuning round: snapshot the captured workload, run
+// the advisor on it under the configured budget, diff the
+// recommendation against the materialized catalog, apply hysteresis,
+// and schedule online builds and deferred drops for the definitions
+// whose streaks matured. The capture decays afterwards, so traffic
+// that stopped arriving fades from future rounds.
+//
+// TuneOnce serializes with itself (the autonomous loop and manual
+// calls share the tuner) and must not be called from inside statement
+// execution — deferred drops wait for in-flight statements to drain.
+func (s *Server) TuneOnce() (*TuneReport, error) {
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	return s.tuneOnceLocked()
+}
+
+func (s *Server) tuneOnceLocked() (*TuneReport, error) {
+	start := time.Now()
+	t := &s.tuner
+	t.round++
+	rep := &TuneReport{Round: t.round}
+
+	w := s.capture.Workload()
+	if w.Len() == 0 {
+		rep.Skipped = true
+		return rep, nil
+	}
+	rep.WorkloadSize = w.Len()
+
+	opts := core.DefaultOptions()
+	opts.Parallelism = t.cfg.Parallelism
+	rec, err := core.Advise(s.db, s.opt, w, opts, t.cfg.Algorithm, t.cfg.Budget)
+	if err != nil {
+		return rep, err
+	}
+	rep.Recommended = rec.Definitions()
+	rep.Benefit = rec.Benefit
+
+	toBuild, toDrop := optimizer.DiffConfigs(s.cat.Definitions(), rep.Recommended)
+
+	// Hysteresis: streaks carry over only while the diff keeps asking
+	// for the same action; a definition leaving the diff resets.
+	var buildNow, dropNow []xindex.Definition
+	nextBuild := make(map[string]int, len(toBuild))
+	for _, def := range toBuild {
+		key := def.Key()
+		n := t.buildStreak[key] + 1
+		if n >= t.cfg.BuildAfter {
+			buildNow = append(buildNow, def)
+			continue
+		}
+		nextBuild[key] = n
+	}
+	nextDrop := make(map[string]int, len(toDrop))
+	for _, def := range toDrop {
+		key := def.Key()
+		n := t.dropStreak[key] + 1
+		if n >= t.cfg.DropAfter {
+			dropNow = append(dropNow, def)
+			continue
+		}
+		nextDrop[key] = n
+	}
+	t.buildStreak = nextBuild
+	t.dropStreak = nextDrop
+	rep.PendingBuild = len(nextBuild)
+	rep.PendingDrop = len(nextDrop)
+
+	built, dropped, err := s.mgr.Reconcile(buildNow, dropNow)
+	rep.Built = built
+	rep.Dropped = dropped
+	if err != nil {
+		return rep, err
+	}
+
+	s.capture.Decay(t.cfg.DecayFactor, t.cfg.DecayFloor)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// StartAutoTune launches the autonomous tuning loop at the configured
+// TuneInterval, delivering each round's report (and error, if any) to
+// observe, which may be nil. It is a no-op if the interval is zero or
+// a loop is already running.
+func (s *Server) StartAutoTune(observe func(*TuneReport, error)) {
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	if s.cfg.TuneInterval <= 0 || s.loopStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.loopStop, s.loopDone = stop, done
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(s.cfg.TuneInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				s.loopMu.Lock()
+				if s.closed.Load() {
+					s.loopMu.Unlock()
+					return
+				}
+				rep, err := s.tuneOnceLocked()
+				s.loopMu.Unlock()
+				if observe != nil {
+					observe(rep, err)
+				}
+			}
+		}
+	}()
+}
+
+// StopAutoTune stops the autonomous loop and waits for the in-progress
+// round, if any, to finish.
+func (s *Server) StopAutoTune() {
+	s.loopMu.Lock()
+	stop, done := s.loopStop, s.loopDone
+	s.loopStop, s.loopDone = nil, nil
+	s.loopMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -47,6 +47,16 @@ type Change struct {
 // tombstone marks a deleted slot in the insertion-order slice.
 const tombstone int64 = -1
 
+// SubID identifies one change-feed subscription, so long-lived
+// subscribers (online index builds, statistics keepers) can detach with
+// Unsubscribe when their structure is dropped.
+type SubID int64
+
+type subscriber struct {
+	id SubID
+	fn func(Change)
+}
+
 // Table is a named table with one XML column holding a collection of
 // documents.
 type Table struct {
@@ -69,7 +79,8 @@ type Table struct {
 	bytes   int64 // total storage bytes
 	version int64 // bumped on every mutation; statistics staleness check
 
-	listeners []func(Change)
+	listeners []subscriber
+	nextSub   SubID
 }
 
 // NewTable creates an empty table.
@@ -85,40 +96,64 @@ func NewTable(name string) *Table {
 // PathDict returns the table's shared path dictionary.
 func (t *Table) PathDict() *xmltree.PathDict { return t.dict }
 
-// Subscribe registers a change listener. Listeners are invoked with the
-// table lock held, in subscription order, for every mutation from this
-// point on; they must be fast and must not call back into the table.
-func (t *Table) Subscribe(fn func(Change)) {
+// Subscribe registers a change listener and returns its subscription
+// handle. Listeners are invoked with the table lock held, in
+// subscription order, for every mutation from this point on; they must
+// be fast and must not call back into the table.
+func (t *Table) Subscribe(fn func(Change)) SubID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.listeners = append(t.listeners, fn)
+	return t.subscribeLocked(fn)
+}
+
+func (t *Table) subscribeLocked(fn func(Change)) SubID {
+	t.nextSub++
+	t.listeners = append(t.listeners, subscriber{id: t.nextSub, fn: fn})
+	return t.nextSub
+}
+
+// Unsubscribe detaches a change listener by its handle, reporting
+// whether it was still registered. After Unsubscribe returns, the
+// listener will not be invoked again.
+func (t *Table) Unsubscribe(id SubID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, s := range t.listeners {
+		if s.id == id {
+			t.listeners = append(t.listeners[:i], t.listeners[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // SubscribeScan atomically registers a change listener and visits every
 // document already in the table, so a subscriber can build its initial
 // state without racing concurrent mutations: every document is seen
 // exactly once, either by init or by a later DocInserted event. It
-// returns the table version the initial state corresponds to. The same
-// callback constraints as Subscribe apply to both functions.
-func (t *Table) SubscribeScan(fn func(Change), init func(*xmltree.Document)) int64 {
+// returns the table version the initial state corresponds to and the
+// subscription handle. The same callback constraints as Subscribe apply
+// to both functions; init runs under the table lock, so it should only
+// capture document pointers, not do per-document work.
+func (t *Table) SubscribeScan(fn func(Change), init func(*xmltree.Document)) (int64, SubID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.listeners = append(t.listeners, fn)
+	id := t.subscribeLocked(fn)
 	if init != nil {
-		for _, id := range t.order {
-			if id == tombstone {
+		for _, docID := range t.order {
+			if docID == tombstone {
 				continue
 			}
-			init(t.docs[id])
+			init(t.docs[docID])
 		}
 	}
-	return t.version
+	return t.version, id
 }
 
 // notify delivers a change to every listener. Callers hold t.mu.
 func (t *Table) notify(c Change) {
-	for _, fn := range t.listeners {
-		fn(c)
+	for _, s := range t.listeners {
+		s.fn(c)
 	}
 }
 
@@ -224,6 +259,34 @@ func (t *Table) compactLocked() {
 	t.tombs = 0
 }
 
+// Replace swaps the document stored under id for a new document — the
+// copy-on-write update path. The old document is never mutated, so
+// readers that fetched its pointer earlier (Scan/Get return live
+// pointers) keep evaluating a consistent pre-image with no lock held;
+// this is what makes the serving read path safe against concurrent
+// UPDATE statements. Subscribers observe a DocRemoved of the old
+// document followed by a DocInserted of the new one (two version
+// increments), and the new document keeps the old document's ID and
+// insertion-order position.
+func (t *Table) Replace(id int64, newDoc *xmltree.Document) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.docs[id]
+	if !ok {
+		return false
+	}
+	newDoc.InternPaths(t.dict)
+	newDoc.DocID = id
+	t.nodes += int64(newDoc.Len()) - int64(old.Len())
+	t.bytes += newDoc.StorageBytes() - old.StorageBytes()
+	t.version++
+	t.notify(Change{Kind: DocRemoved, Doc: old, Version: t.version})
+	t.docs[id] = newDoc
+	t.version++
+	t.notify(Change{Kind: DocInserted, Doc: newDoc, Version: t.version})
+	return true
+}
+
 // Update mutates a document in place, reporting whether the document
 // exists. Subscribers observe the update as a DocRemoved of the
 // pre-image followed by a DocInserted of the post-image; the mutation
@@ -236,10 +299,11 @@ func (t *Table) compactLocked() {
 // table operations, but readers that fetched the *Document earlier
 // (Scan/Get return live pointers, not copies) evaluate it with no lock
 // held, so an in-place value rewrite is NOT safe to run concurrently
-// with statement execution that may touch the same document. Inserts
-// and deletes are safe alongside readers (documents are never mutated,
-// only added/unlinked); UPDATE statements require external
-// single-writer discipline, as in the seed engine.
+// with statement execution that may touch the same document, and it
+// breaks the online index build's assumption that captured change
+// events reference immutable documents. The engine's UPDATE path uses
+// Replace (copy-on-write) instead; Update remains for single-writer
+// batch tooling.
 func (t *Table) Update(id int64, mutate func(*xmltree.Document)) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()

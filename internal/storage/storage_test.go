@@ -173,7 +173,7 @@ func TestChangeFeed(t *testing.T) {
 	tbl := NewTable("T")
 	id0 := tbl.Insert(doc("EARLY", 1))
 	var got []Change
-	version := tbl.SubscribeScan(func(c Change) { got = append(got, c) },
+	version, _ := tbl.SubscribeScan(func(c Change) { got = append(got, c) },
 		func(d *xmltree.Document) {
 			if d.DocID != id0 {
 				t.Errorf("init saw doc %d, want %d", d.DocID, id0)
@@ -205,6 +205,62 @@ func TestChangeFeed(t *testing.T) {
 	}
 	if lastVersion != tbl.Version() {
 		t.Errorf("final change version %d, table version %d", lastVersion, tbl.Version())
+	}
+}
+
+func TestReplaceKeepsIdentityAndOrder(t *testing.T) {
+	tbl := NewTable("T")
+	id0 := tbl.Insert(doc("A", 1))
+	id1 := tbl.Insert(doc("B", 2))
+	tbl.Insert(doc("C", 3))
+
+	old, _ := tbl.Get(id1)
+	var got []Change
+	tbl.Subscribe(func(c Change) { got = append(got, c) })
+
+	if !tbl.Replace(id1, doc("BBBB", 9)) {
+		t.Fatal("Replace reported missing doc")
+	}
+	// Old pointer is untouched (copy-on-write): readers holding it keep
+	// seeing the pre-image.
+	if old.Nodes[2].Value != "B" {
+		t.Fatalf("old document mutated: %q", old.Nodes[2].Value)
+	}
+	cur, ok := tbl.Get(id1)
+	if !ok || cur.Nodes[2].Value != "BBBB" || cur.DocID != id1 {
+		t.Fatalf("replacement not visible under old ID: %+v", cur)
+	}
+	// Feed saw remove(old) + insert(new).
+	if len(got) != 2 || got[0].Kind != DocRemoved || got[1].Kind != DocInserted ||
+		got[0].Doc != old || got[1].Doc != cur {
+		t.Fatalf("feed events wrong: %+v", got)
+	}
+	// Insertion-order position is preserved.
+	var order []int64
+	tbl.Scan(func(d *xmltree.Document) bool { order = append(order, d.DocID); return true })
+	if len(order) != 3 || order[0] != id0 || order[1] != id1 {
+		t.Fatalf("scan order after Replace: %v", order)
+	}
+	if tbl.Replace(999, doc("X", 1)) {
+		t.Fatal("Replace of missing doc succeeded")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	tbl := NewTable("T")
+	var a, b int
+	subA := tbl.Subscribe(func(Change) { a++ })
+	tbl.Subscribe(func(Change) { b++ })
+	tbl.Insert(doc("A", 1))
+	if !tbl.Unsubscribe(subA) {
+		t.Fatal("Unsubscribe reported unknown handle")
+	}
+	if tbl.Unsubscribe(subA) {
+		t.Fatal("double Unsubscribe succeeded")
+	}
+	tbl.Insert(doc("B", 2))
+	if a != 1 || b != 2 {
+		t.Fatalf("listener counts after unsubscribe: a=%d b=%d, want 1, 2", a, b)
 	}
 }
 

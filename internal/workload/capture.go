@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+
+	"xixa/internal/xquery"
+)
+
+// Capture is a bounded live-workload sample: the serving layer's
+// sessions feed every executed statement into it, and the autonomous
+// tuning loop reads it back as the advisor's training workload — the
+// paper's "representative workload the DBA assembles" (§VI-B) replaced
+// by continuous capture inside the server.
+//
+// Statements are keyed by their normalized form
+// (xquery.Statement.NormalizedKey), so the same logical statement
+// arriving from many sessions — possibly with different raw spellings —
+// accumulates one frequency-weighted entry. Weights decay exponentially
+// (Decay, applied by the tuning loop once per round), so the capture
+// tracks the live traffic mix instead of the whole history: a query
+// that stopped arriving fades out and eventually frees its slot.
+//
+// When the ring is full, observing a new statement evicts the entry
+// with the lowest weight (ties broken by oldest first-seen), keeping
+// the hot statements and bounding memory no matter how diverse the
+// traffic is.
+//
+// A Capture is safe for concurrent use.
+type Capture struct {
+	mu      sync.Mutex
+	size    int
+	entries map[string]*captureEntry
+	order   []string // first-seen order, for deterministic output
+	seq     int64
+}
+
+type captureEntry struct {
+	stmt   *xquery.Statement
+	weight float64
+	seen   int64 // first-seen sequence, eviction tie-break
+}
+
+// DefaultCaptureSize bounds the ring when NewCapture is given 0.
+const DefaultCaptureSize = 256
+
+// NewCapture creates a capture ring holding at most size distinct
+// normalized statements (0 selects DefaultCaptureSize).
+func NewCapture(size int) *Capture {
+	if size <= 0 {
+		size = DefaultCaptureSize
+	}
+	return &Capture{size: size, entries: make(map[string]*captureEntry)}
+}
+
+// Observe records weight executions of stmt (weight <= 0 counts as 1).
+func (c *Capture) Observe(stmt *xquery.Statement, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	key := stmt.NormalizedKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observeLocked(key, stmt, weight)
+}
+
+func (c *Capture) observeLocked(key string, stmt *xquery.Statement, weight float64) {
+	if e, ok := c.entries[key]; ok {
+		e.weight += weight
+		return
+	}
+	if len(c.entries) >= c.size {
+		c.evictLocked()
+	}
+	c.seq++
+	c.entries[key] = &captureEntry{stmt: stmt, weight: weight, seen: c.seq}
+	c.order = append(c.order, key)
+}
+
+// evictLocked drops the lowest-weight (oldest on ties) entry.
+func (c *Capture) evictLocked() {
+	victim := -1
+	for i, key := range c.order {
+		e := c.entries[key]
+		if victim < 0 {
+			victim = i
+			continue
+		}
+		v := c.entries[c.order[victim]]
+		if e.weight < v.weight || (e.weight == v.weight && e.seen < v.seen) {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	delete(c.entries, c.order[victim])
+	c.order = append(c.order[:victim], c.order[victim+1:]...)
+}
+
+// Merge folds another capture into this one, summing weights per
+// normalized statement — the frequency-weighted merge the per-session
+// staging path uses. (The naive raw-keyed merge either duplicated the
+// statement per spelling or let the last session's entry win; summing
+// by normalized key is what makes multi-session capture equal a
+// single-session capture of the interleaved stream.)
+func (c *Capture) Merge(other *Capture) {
+	other.mu.Lock()
+	type pair struct {
+		key    string
+		stmt   *xquery.Statement
+		weight float64
+	}
+	pairs := make([]pair, 0, len(other.order))
+	for _, key := range other.order {
+		e := other.entries[key]
+		pairs = append(pairs, pair{key: key, stmt: e.stmt, weight: e.weight})
+	}
+	other.mu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range pairs {
+		c.observeLocked(p.key, p.stmt, p.weight)
+	}
+}
+
+// Decay multiplies every weight by factor in (0,1) and drops entries
+// whose weight fell below floor, freeing their slots. The tuning loop
+// calls this once per round so old traffic fades at a rate tied to
+// tuning cadence, not wall-clock.
+func (c *Capture) Decay(factor, floor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := c.order[:0]
+	for _, key := range c.order {
+		e := c.entries[key]
+		e.weight *= factor
+		if e.weight < floor {
+			delete(c.entries, key)
+			continue
+		}
+		live = append(live, key)
+	}
+	c.order = live
+}
+
+// Len returns the number of distinct normalized statements held.
+func (c *Capture) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Workload converts the capture into an advisor workload: statements in
+// first-seen order, frequencies rounded from decayed weights (minimum
+// 1). The returned workload is independent of later observations.
+func (c *Capture) Workload() *Workload {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := &Workload{}
+	for _, key := range c.order {
+		e := c.entries[key]
+		freq := int(e.weight + 0.5)
+		if freq < 1 {
+			freq = 1
+		}
+		w.Items = append(w.Items, Item{Stmt: e.stmt, Freq: freq})
+	}
+	return w
+}
+
+// Summarize reports the capture as a frequency-weighted Summary.
+func (c *Capture) Summarize() Summary {
+	return c.Workload().SummarizeWeighted()
+}
+
+// TopK returns the k heaviest captured statements with their rounded
+// frequencies, heaviest first (first-seen order on ties).
+func (c *Capture) TopK(k int) []Item {
+	w := c.Workload()
+	sort.SliceStable(w.Items, func(i, j int) bool { return w.Items[i].Freq > w.Items[j].Freq })
+	if k < len(w.Items) {
+		w.Items = w.Items[:k]
+	}
+	return w.Items
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"xixa/internal/xquery"
+)
+
+// Two spellings of the same logical statement: identical normalized
+// form, different raw text.
+const (
+	spellA = `for $s in SECURITY('SDOC')/Security where $s/Symbol = "A" return $s`
+	spellB = `for $s in SECURITY('SDOC')/Security where  $s/Symbol="A"  return $s`
+)
+
+func TestNormalizedMergeWeightsByFrequency(t *testing.T) {
+	a, b := xquery.MustParse(spellA), xquery.MustParse(spellB)
+	if a.NormalizedKey() != b.NormalizedKey() {
+		t.Fatalf("spellings normalize differently:\n%s\n%s", a.NormalizedKey(), b.NormalizedKey())
+	}
+
+	// Session 1 saw the statement 7 times, session 2 saw it 3 times
+	// under another spelling. The merged workload must hold ONE item
+	// with frequency 10 — not two items, and not the last session's 3.
+	s1 := New()
+	s1.Add(a, 7)
+	s2 := New()
+	s2.Add(b, 3)
+	m := s1.Merge(s2)
+	if m.Len() != 1 {
+		t.Fatalf("merged len = %d, want 1", m.Len())
+	}
+	if m.Items[0].Freq != 10 {
+		t.Fatalf("merged freq = %d, want 7+3=10", m.Items[0].Freq)
+	}
+}
+
+func TestSummaryMergeSumsFrequencies(t *testing.T) {
+	w1 := New()
+	w1.Add(xquery.MustParse(spellA), 7)
+	w2 := New()
+	w2.Add(xquery.MustParse(spellB), 3)
+	w2.Add(xquery.MustParse(ins), 2)
+
+	s := w1.SummarizeWeighted()
+	s.Merge(w2.SummarizeWeighted())
+	if s.TotalFreq != 12 {
+		t.Errorf("TotalFreq = %d, want 12", s.TotalFreq)
+	}
+	if s.ByKind[xquery.Query] != 10 || s.ByKind[xquery.Insert] != 2 {
+		t.Errorf("ByKind = %v", s.ByKind)
+	}
+	if s.ByTable["SECURITY"] != 12 {
+		t.Errorf("ByTable = %v", s.ByTable)
+	}
+}
+
+func TestCaptureAccumulatesAcrossSpellings(t *testing.T) {
+	c := NewCapture(8)
+	c.Observe(xquery.MustParse(spellA), 1)
+	c.Observe(xquery.MustParse(spellB), 1)
+	c.Observe(xquery.MustParse(spellA), 3)
+	if c.Len() != 1 {
+		t.Fatalf("capture holds %d entries, want 1", c.Len())
+	}
+	w := c.Workload()
+	if w.Len() != 1 || w.Items[0].Freq != 5 {
+		t.Fatalf("capture workload = %d items, freq %d; want 1 item freq 5", w.Len(), w.Items[0].Freq)
+	}
+}
+
+func TestCaptureDecayAndEviction(t *testing.T) {
+	c := NewCapture(2)
+	hot := xquery.MustParse(spellA)
+	cold := xquery.MustParse(wq2)
+	c.Observe(hot, 10)
+	c.Observe(cold, 1)
+
+	// Decay until the cold statement falls below the floor.
+	c.Decay(0.5, 1.0)
+	if c.Len() != 1 {
+		t.Fatalf("after decay capture holds %d entries, want 1 (cold evicted)", c.Len())
+	}
+	w := c.Workload()
+	if w.Items[0].Stmt != hot {
+		t.Fatal("decay evicted the hot statement")
+	}
+	if w.Items[0].Freq != 5 {
+		t.Fatalf("decayed freq = %d, want 5", w.Items[0].Freq)
+	}
+
+	// Ring full: a new arrival evicts the lowest-weight entry.
+	c.Observe(cold, 1)
+	third := xquery.MustParse(`delete from ORDERS where /Order[Status="cancelled"]`)
+	c.Observe(third, 2)
+	if c.Len() != 2 {
+		t.Fatalf("capture len = %d, want bounded at 2", c.Len())
+	}
+	if _, found := findStmt(c, cold); found {
+		t.Fatal("lowest-weight entry survived eviction")
+	}
+	if _, found := findStmt(c, hot); !found {
+		t.Fatal("hot entry evicted")
+	}
+}
+
+func findStmt(c *Capture, stmt *xquery.Statement) (Item, bool) {
+	for _, it := range c.Workload().Items {
+		if it.Stmt.NormalizedKey() == stmt.NormalizedKey() {
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+func TestCaptureMerge(t *testing.T) {
+	global := NewCapture(16)
+	session := NewCapture(16)
+	session.Observe(xquery.MustParse(spellA), 4)
+	session.Observe(xquery.MustParse(wq2), 1)
+	global.Observe(xquery.MustParse(spellB), 6)
+	global.Merge(session)
+	if global.Len() != 2 {
+		t.Fatalf("merged capture len = %d, want 2", global.Len())
+	}
+	it, ok := findStmt(global, xquery.MustParse(spellA))
+	if !ok || it.Freq != 10 {
+		t.Fatalf("merged weight = %+v, want freq 10", it)
+	}
+}

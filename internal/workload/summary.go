@@ -52,15 +52,71 @@ func (w *Workload) WriteSummary(out io.Writer) {
 	}
 }
 
-// Merge returns a new workload combining w and other; statements with
-// identical text accumulate frequency.
+// SummarizeWeighted computes the summary with ByKind and ByTable
+// weighted by statement frequency instead of counting unique
+// statements — the form the serving layer reports, where a query
+// executed 10,000 times should dominate a one-off.
+func (w *Workload) SummarizeWeighted() Summary {
+	s := Summary{
+		ByKind:  make(map[xquery.Kind]int),
+		ByTable: make(map[string]int),
+	}
+	for _, it := range w.Items {
+		s.Unique++
+		s.TotalFreq += it.Freq
+		s.ByKind[it.Stmt.Kind] += it.Freq
+		s.ByTable[it.Stmt.Table] += it.Freq
+	}
+	return s
+}
+
+// Merge folds another summary into this one, summing every field.
+// Because the fields sum, merging per-session summaries weights each
+// statement by its total frequency across sessions; the receiver maps
+// are allocated if nil. A summary carries no statement identities, so
+// the merged Unique is an upper bound: sessions that executed the same
+// normalized statement each contribute to it. For exact uniques, merge
+// the Workloads (or Captures) and summarize the result.
+func (s *Summary) Merge(other Summary) {
+	if s.ByKind == nil {
+		s.ByKind = make(map[xquery.Kind]int)
+	}
+	if s.ByTable == nil {
+		s.ByTable = make(map[string]int)
+	}
+	s.Unique += other.Unique
+	s.TotalFreq += other.TotalFreq
+	for k, n := range other.ByKind {
+		s.ByKind[k] += n
+	}
+	for t, n := range other.ByTable {
+		s.ByTable[t] += n
+	}
+}
+
+// Merge returns a new workload combining w and other. Statements are
+// matched by their normalized form (xquery.Statement.NormalizedKey),
+// not their raw text, and matching statements accumulate frequency: the
+// same logical statement arriving from multiple sessions with different
+// spellings merges into one frequency-weighted item instead of the last
+// arrival's entry shadowing the others.
 func (w *Workload) Merge(other *Workload) *Workload {
 	out := &Workload{}
+	byKey := make(map[string]int)
+	add := func(it Item) {
+		key := it.Stmt.NormalizedKey()
+		if i, ok := byKey[key]; ok {
+			out.Items[i].Freq += it.Freq
+			return
+		}
+		byKey[key] = len(out.Items)
+		out.Items = append(out.Items, it)
+	}
 	for _, it := range w.Items {
-		out.Add(it.Stmt, it.Freq)
+		add(it)
 	}
 	for _, it := range other.Items {
-		out.Add(it.Stmt, it.Freq)
+		add(it)
 	}
 	return out
 }

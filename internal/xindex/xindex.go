@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"xixa/internal/btree"
 	"xixa/internal/storage"
@@ -96,9 +97,17 @@ func EncodeKey(kind xpath.ValueKind, str string, num float64) []byte {
 	return out
 }
 
-// Index is a materialized path-value index.
+// Index is a materialized path-value index. An index is safe for
+// concurrent use: scans take a read lock, maintenance takes a write
+// lock, so the serving read path can probe an index while the change
+// feed maintains it.
 type Index struct {
-	Def  Definition
+	Def Definition
+
+	// mu guards tree, matched, and states. Uncontended in the batch
+	// paths; under the serving daemon it orders feed-driven maintenance
+	// against concurrent probes.
+	mu   sync.RWMutex
 	tree *btree.Tree
 
 	// dict is the owning table's path dictionary; matched[pid] reports
@@ -111,6 +120,11 @@ type Index struct {
 	dict    *xmltree.PathDict
 	matched []bool
 	states  []xpath.MatchState
+
+	// online is non-nil for indexes built by BuildOnline: they maintain
+	// themselves from the table's change feed and the engine must not
+	// apply explicit maintenance to them (it would double-apply).
+	online *onlineState
 }
 
 // Build creates and populates an index over the current contents of the
@@ -123,6 +137,16 @@ func Build(t *storage.Table, def Definition) (*Index, error) {
 	if t.Name != def.Table {
 		return nil, fmt.Errorf("xindex: definition targets table %q, got %q", def.Table, t.Name)
 	}
+	idx := newEmpty(t, def)
+	t.Scan(func(doc *xmltree.Document) bool {
+		idx.insertDoc(doc)
+		return true
+	})
+	return idx, nil
+}
+
+// newEmpty builds the index shell Build and BuildOnline share.
+func newEmpty(t *storage.Table, def Definition) *Index {
 	idx := &Index{Def: def, tree: btree.MustNewTree(0)}
 	if xpath.CompilablePattern(def.Pattern) {
 		// Patterns beyond the NFA state budget (never produced by the
@@ -130,11 +154,7 @@ func Build(t *storage.Table, def Definition) (*Index, error) {
 		idx.matcher = xpath.NewPathMatcher(def.Pattern)
 		idx.dict = t.PathDict()
 	}
-	t.Scan(func(doc *xmltree.Document) bool {
-		idx.insertDoc(doc)
-		return true
-	})
-	return idx, nil
+	return idx
 }
 
 // ensureMatched extends the matched-path set to cover every dictionary
@@ -199,6 +219,8 @@ func (x *Index) eachMatch(doc *xmltree.Document, visit func(id xmltree.NodeID)) 
 }
 
 func (x *Index) insertDoc(doc *xmltree.Document) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	added := 0
 	x.eachMatch(doc, func(id xmltree.NodeID) {
 		key, ok := x.keyFor(doc, id)
@@ -213,6 +235,8 @@ func (x *Index) insertDoc(doc *xmltree.Document) int {
 }
 
 func (x *Index) deleteDoc(doc *xmltree.Document) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	removed := 0
 	x.eachMatch(doc, func(id xmltree.NodeID) {
 		key, ok := x.keyFor(doc, id)
@@ -235,19 +259,49 @@ func (x *Index) OnInsert(doc *xmltree.Document) int { return x.insertDoc(doc) }
 func (x *Index) OnDelete(doc *xmltree.Document) int { return x.deleteDoc(doc) }
 
 // Entries returns the number of index entries.
-func (x *Index) Entries() int { return x.tree.Len() }
+func (x *Index) Entries() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Len()
+}
 
 // Levels returns the B+-tree height.
-func (x *Index) Levels() int { return x.tree.Levels() }
+func (x *Index) Levels() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.Levels()
+}
 
 // SizeBytes returns the materialized index size.
-func (x *Index) SizeBytes() int64 { return x.tree.SizeBytes() }
+func (x *Index) SizeBytes() int64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.tree.SizeBytes()
+}
+
+// Walk visits every entry in (key, ref) order — the index's canonical
+// content enumeration, used to assert that an online build converged to
+// exactly the state a cold build produces. The visit function returns
+// false to stop.
+func (x *Index) Walk(visit func(key []byte, ref Ref) bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	x.tree.AscendRange(nil, nil, true, true, func(k []byte, v uint64) bool {
+		return visit(k, unpackRef(v))
+	})
+}
 
 // Scan visits entries satisfying (op, lit) in key order. For OpNe the
 // scan is a full scan with the equal keys skipped. It reports the
 // number of index entries visited (the scan work), which the engine's
 // work counters use.
 func (x *Index) Scan(op xpath.CmpOp, lit xpath.Value, visit func(Ref) bool) int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.scanLocked(op, lit, visit)
+}
+
+func (x *Index) scanLocked(op xpath.CmpOp, lit xpath.Value, visit func(Ref) bool) int {
 	var lo, hi []byte
 	loIncl, hiIncl := true, true
 	var skipEq []byte

@@ -121,6 +121,42 @@ func (s *Statement) NormalizedPath() xpath.Path {
 	return p
 }
 
+// NormalizedKey returns the statement's identity under workload
+// capture: two statements with the same key are the same logical
+// statement even if their raw spellings differ (whitespace, clause
+// formatting), so captures from many sessions accumulate one
+// frequency-weighted entry instead of shadowing each other. The key is
+// built from the statement kind, table, and the normalized access path
+// (predicates folded in), plus the return paths for queries and the
+// set clause for updates. Inserts key by their raw text: distinct
+// documents are distinct statements.
+func (s *Statement) NormalizedKey() string {
+	var b strings.Builder
+	b.WriteString(s.Kind.String())
+	b.WriteByte('|')
+	b.WriteString(s.Table)
+	b.WriteByte('|')
+	switch s.Kind {
+	case Insert:
+		b.WriteString(strings.Join(strings.Fields(s.Raw), " "))
+	case Update:
+		b.WriteString(s.Match.String())
+		b.WriteByte('|')
+		b.WriteString(s.SetPath.String())
+		b.WriteByte('=')
+		b.WriteString(s.SetValue.String())
+	case Delete:
+		b.WriteString(s.Match.String())
+	default:
+		b.WriteString(s.NormalizedPath().String())
+		for _, r := range s.Returns {
+			b.WriteByte('|')
+			b.WriteString(r.String())
+		}
+	}
+	return b.String()
+}
+
 // Parse parses one workload statement.
 func Parse(input string) (*Statement, error) {
 	trimmed := strings.TrimSpace(input)

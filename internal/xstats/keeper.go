@@ -41,7 +41,7 @@ func NewKeeper(t *storage.Table) *Keeper {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	d := NewDelta(t.PathDict())
-	version := t.SubscribeScan(k.onChange, func(doc *xmltree.Document) {
+	version, _ := t.SubscribeScan(k.onChange, func(doc *xmltree.Document) {
 		d.CollectDoc(doc)
 	})
 	k.version.Store(version)
