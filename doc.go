@@ -18,7 +18,8 @@
 //   - internal/xpath, xquery — the linear-XPath and FLWOR/SQL-XML/DML
 //     statement dialects, including pattern containment.
 //   - internal/xmltree, storage, btree, xindex, xstats, engine,
-//     persist — the database substrate.
+//     persist, wal — the database substrate, including checkpoints
+//     and the write-ahead log.
 //   - internal/server — the concurrent serving layer: sessions,
 //     admission control, live workload capture, and the autonomous
 //     tuning loop behind cmd/xixad.
@@ -71,6 +72,24 @@
 // block) and dropping abandoned indexes with hysteresis. cmd/xixad is
 // the daemon; snapshots persist the materialized catalog so restarts
 // come up warm.
+//
+// # Durability and crash recovery
+//
+// internal/wal layers a write-ahead log under the serving stack
+// (server.Recover, xixad -wal-dir): every table's change feed appends
+// its logical mutations — full-document inserts, removes, and the
+// tuning loop's index create/drop — as CRC-checked, length-prefixed
+// records, and a mutating statement returns only after wal.Log.Commit
+// makes its LSN durable. Commits group: concurrent writers batch into
+// one fsync (SyncAlways), or flush to the OS with a background fsync
+// bounding the power-loss window (SyncBatched), so commit throughput
+// scales with batch size instead of disk latency. Checkpoints — LSN-
+// stamped snapshots plus a workload-capture sidecar, written
+// automatically once the log passes a size threshold — truncate the
+// log and bound recovery, which replays the tail past the checkpoint,
+// tolerates the torn final record a crash leaves, rebuilds indexes
+// online, and restores a database bit-identical to the committed
+// pre-crash state.
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for regenerating the paper's evaluation.

@@ -24,6 +24,14 @@
 // any deletion and invalidated external references to document IDs.
 // Version 1 snapshots (magic "XIXADB1\n", no ID fields) still load,
 // with IDs assigned by insertion order as before.
+//
+// Version 3 added a uvarint LSN immediately after the magic: a snapshot
+// is now a checkpoint stamped with the write-ahead log position it
+// reflects, so recovery (server.Recover) knows exactly which WAL tail
+// to replay on top of it. Version 1 and 2 snapshots still load, with
+// LSN 0. A checkpoint may carry a capture sidecar (SaveCaptureFile) so
+// a restarted daemon's tuner warm-starts from the checkpointed
+// workload instead of relearning it.
 package persist
 
 import (
@@ -33,24 +41,29 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 
 	"xixa/internal/storage"
+	"xixa/internal/workload"
 	"xixa/internal/xindex"
 	"xixa/internal/xmltree"
 	"xixa/internal/xpath"
 )
 
 var (
-	magic   = []byte("XIXADB2\n")
-	magicV1 = []byte("XIXADB1\n")
+	magic    = []byte("XIXADB3\n")
+	magicV2  = []byte("XIXADB2\n")
+	magicV1  = []byte("XIXADB1\n")
+	magicCap = []byte("XIXACAP1")
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 type countingWriter struct {
-	w   *bufio.Writer
-	sum hash.Hash32
+	w   io.Writer
+	sum hash.Hash32 // nil = no checksum (the WAL frames payloads with its own CRC)
 	buf [binary.MaxVarintLen64]byte
 }
 
@@ -58,7 +71,9 @@ func (cw *countingWriter) write(p []byte) error {
 	if _, err := cw.w.Write(p); err != nil {
 		return err
 	}
-	cw.sum.Write(p)
+	if cw.sum != nil {
+		cw.sum.Write(p)
+	}
 	return nil
 }
 
@@ -79,10 +94,22 @@ func (cw *countingWriter) str(s string) error {
 	return cw.write([]byte(s))
 }
 
-// SaveDatabase writes a snapshot of db and the given index definitions.
+// SaveDatabase writes a snapshot of db and the given index definitions
+// with no WAL position (LSN 0) — the plain, non-durable snapshot path.
 func SaveDatabase(w io.Writer, db *storage.Database, defs []xindex.Definition) error {
-	cw := &countingWriter{w: bufio.NewWriter(w), sum: crc32.New(crcTable)}
+	return SaveCheckpoint(w, db, defs, 0)
+}
+
+// SaveCheckpoint writes a snapshot stamped with the write-ahead log
+// position it reflects: recovery loads it and replays only the WAL
+// records past lsn.
+func SaveCheckpoint(w io.Writer, db *storage.Database, defs []xindex.Definition, lsn uint64) error {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw, sum: crc32.New(crcTable)}
 	if err := cw.write(magic); err != nil {
+		return err
+	}
+	if err := cw.uvarint(lsn); err != nil {
 		return err
 	}
 	names := db.TableNames()
@@ -135,10 +162,10 @@ func SaveDatabase(w io.Writer, db *storage.Database, defs []xindex.Definition) e
 	}
 	var crcBuf [4]byte
 	binary.LittleEndian.PutUint32(crcBuf[:], cw.sum.Sum32())
-	if _, err := cw.w.Write(crcBuf[:]); err != nil {
+	if _, err := bw.Write(crcBuf[:]); err != nil {
 		return err
 	}
-	return cw.w.Flush()
+	return bw.Flush()
 }
 
 func writeDoc(cw *countingWriter, doc *xmltree.Document) error {
@@ -163,9 +190,16 @@ func writeDoc(cw *countingWriter, doc *xmltree.Document) error {
 	return nil
 }
 
+// byteScanner is what checkedReader needs from its source:
+// bufio.Reader and bytes.Reader both qualify.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
 type checkedReader struct {
-	r   *bufio.Reader
-	sum hash.Hash32
+	r   byteScanner
+	sum hash.Hash32 // nil = no checksum (the WAL frames payloads with its own CRC)
 }
 
 func (cr *checkedReader) ReadByte() (byte, error) {
@@ -173,7 +207,9 @@ func (cr *checkedReader) ReadByte() (byte, error) {
 	if err != nil {
 		return 0, err
 	}
-	cr.sum.Write([]byte{b})
+	if cr.sum != nil {
+		cr.sum.Write([]byte{b})
+	}
 	return b, nil
 }
 
@@ -181,7 +217,9 @@ func (cr *checkedReader) read(p []byte) error {
 	if _, err := io.ReadFull(cr.r, p); err != nil {
 		return err
 	}
-	cr.sum.Write(p)
+	if cr.sum != nil {
+		cr.sum.Write(p)
+	}
 	return nil
 }
 
@@ -213,85 +251,101 @@ func (cr *checkedReader) str() (string, error) {
 }
 
 // LoadDatabase reads a snapshot, verifies its checksum, and rebuilds
-// the database and index definitions.
+// the database and index definitions, discarding the checkpoint LSN.
 func LoadDatabase(r io.Reader) (*storage.Database, []xindex.Definition, error) {
+	db, defs, _, err := LoadCheckpoint(r)
+	return db, defs, err
+}
+
+// LoadCheckpoint reads a snapshot, verifies its checksum, and rebuilds
+// the database and index definitions, additionally returning the WAL
+// LSN the snapshot was stamped with (0 for version 1/2 snapshots).
+func LoadCheckpoint(r io.Reader) (*storage.Database, []xindex.Definition, uint64, error) {
 	cr := &checkedReader{r: bufio.NewReader(r), sum: crc32.New(crcTable)}
 	head := make([]byte, len(magic))
 	if err := cr.read(head); err != nil {
-		return nil, nil, fmt.Errorf("persist: reading magic: %w", err)
+		return nil, nil, 0, fmt.Errorf("persist: reading magic: %w", err)
 	}
-	v2 := string(head) == string(magic)
+	v3 := string(head) == string(magic)
+	v2 := v3 || string(head) == string(magicV2)
 	if !v2 && string(head) != string(magicV1) {
-		return nil, nil, fmt.Errorf("persist: not a xixa snapshot (bad magic %q)", head)
+		return nil, nil, 0, fmt.Errorf("persist: not a xixa snapshot (bad magic %q)", head)
+	}
+	var lsn uint64
+	if v3 {
+		var err error
+		if lsn, err = cr.uvarint(); err != nil {
+			return nil, nil, 0, err
+		}
 	}
 	db := storage.NewDatabase()
 	tableCount, err := cr.uvarint()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	for t := uint64(0); t < tableCount; t++ {
 		name, err := cr.str()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		tbl, err := db.CreateTable(name)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		if v2 {
 			nextID, err := cr.uvarint()
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 			tbl.SetNextID(int64(nextID))
 		}
 		docCount, err := cr.uvarint()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		for d := uint64(0); d < docCount; d++ {
 			if v2 {
 				docID, err := cr.uvarint()
 				if err != nil {
-					return nil, nil, err
+					return nil, nil, 0, err
 				}
 				doc, err := readDoc(cr)
 				if err != nil {
-					return nil, nil, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+					return nil, nil, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
 				}
 				if err := tbl.InsertAt(doc, int64(docID)); err != nil {
-					return nil, nil, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+					return nil, nil, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
 				}
 				continue
 			}
 			doc, err := readDoc(cr)
 			if err != nil {
-				return nil, nil, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+				return nil, nil, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
 			}
 			tbl.Insert(doc)
 		}
 	}
 	defCount, err := cr.uvarint()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	var defs []xindex.Definition
 	for i := uint64(0); i < defCount; i++ {
 		table, err := cr.str()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		patText, err := cr.str()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		pattern, err := xpath.ParsePattern(patText)
 		if err != nil {
-			return nil, nil, fmt.Errorf("persist: index %d: %w", i, err)
+			return nil, nil, 0, fmt.Errorf("persist: index %d: %w", i, err)
 		}
 		var kindByte [1]byte
 		if err := cr.read(kindByte[:]); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		kind := xpath.StringVal
 		if kindByte[0] == 1 {
@@ -302,12 +356,12 @@ func LoadDatabase(r io.Reader) (*storage.Database, []xindex.Definition, error) {
 	wantSum := cr.sum.Sum32()
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
-		return nil, nil, fmt.Errorf("persist: reading checksum: %w", err)
+		return nil, nil, 0, fmt.Errorf("persist: reading checksum: %w", err)
 	}
 	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != wantSum {
-		return nil, nil, fmt.Errorf("persist: checksum mismatch (snapshot corrupted)")
+		return nil, nil, 0, fmt.Errorf("persist: checksum mismatch (snapshot corrupted)")
 	}
-	return db, defs, nil
+	return db, defs, lsn, nil
 }
 
 func readDoc(cr *checkedReader) (*xmltree.Document, error) {
@@ -402,14 +456,23 @@ func RebuildIndexes(db *storage.Database, defs []xindex.Definition) ([]*xindex.I
 	return out, nil
 }
 
-// SaveFile writes a snapshot to path atomically (temp file + rename).
-func SaveFile(path string, db *storage.Database, defs []xindex.Definition) error {
+// writeFileAtomic writes via a temp file, fsyncs it, renames it over
+// path, and fsyncs the parent directory — the full sequence required
+// for the result to survive power loss. Without the file fsync a crash
+// after the rename can expose an empty or partial file; without the
+// directory fsync the rename itself may not be durable.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := SaveDatabase(f, db, defs); err != nil {
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -418,15 +481,168 @@ func SaveFile(path string, db *storage.Database, defs []xindex.Definition) error
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a just-renamed entry inside it is
+// durable. Exported because the write-ahead log's file swaps need the
+// identical sequence; power-loss-critical fsync logic should live
+// once.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SaveFile writes a snapshot to path atomically (temp file + fsync +
+// rename + directory fsync).
+func SaveFile(path string, db *storage.Database, defs []xindex.Definition) error {
+	return SaveCheckpointFile(path, db, defs, 0)
+}
+
+// SaveCheckpointFile writes an LSN-stamped snapshot to path atomically.
+func SaveCheckpointFile(path string, db *storage.Database, defs []xindex.Definition, lsn uint64) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return SaveCheckpoint(w, db, defs, lsn)
+	})
 }
 
 // LoadFile reads a snapshot from path.
 func LoadFile(path string) (*storage.Database, []xindex.Definition, error) {
+	db, defs, _, err := LoadCheckpointFile(path)
+	return db, defs, err
+}
+
+// LoadCheckpointFile reads an LSN-stamped snapshot from path.
+func LoadCheckpointFile(path string) (*storage.Database, []xindex.Definition, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer f.Close()
-	return LoadDatabase(f)
+	return LoadCheckpoint(f)
+}
+
+// EncodeDoc writes one document in the snapshot node encoding (uvarint
+// node count, then kind/parent/name/value per node) — the payload
+// format the write-ahead log reuses for its doc-insert records so the
+// snapshot and the log can never disagree on what a document is. It
+// runs on the per-mutation hot path (inside the change-feed callback,
+// under the table lock), so it writes straight to w with no checksum
+// and no buffering of its own — the WAL frames the payload with its
+// own CRC.
+func EncodeDoc(w io.Writer, doc *xmltree.Document) error {
+	return writeDoc(&countingWriter{w: w}, doc)
+}
+
+// DecodeDoc reads one EncodeDoc-encoded document, reconstructing
+// children, levels, and subtree intervals from the parent links.
+// Readers that are not already byte-oriented are buffered, in which
+// case the document must be the trailing field of whatever frame
+// contains it.
+func DecodeDoc(r io.Reader) (*xmltree.Document, error) {
+	bs, ok := r.(byteScanner)
+	if !ok {
+		bs = bufio.NewReader(r)
+	}
+	return readDoc(&checkedReader{r: bs})
+}
+
+// SaveCapture writes a workload capture's persistent form: the sidecar
+// a checkpoint carries so a restarted daemon's tuner warm-starts from
+// the checkpointed workload. Format: magic "XIXACAP1", uvarint count,
+// then per entry a raw statement string and a float64 weight, closed
+// by the usual CRC-32C.
+func SaveCapture(w io.Writer, states []workload.CaptureState) error {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw, sum: crc32.New(crcTable)}
+	if err := cw.write(magicCap); err != nil {
+		return err
+	}
+	if err := cw.uvarint(uint64(len(states))); err != nil {
+		return err
+	}
+	for _, s := range states {
+		if err := cw.str(s.Raw); err != nil {
+			return err
+		}
+		var bits [8]byte
+		binary.LittleEndian.PutUint64(bits[:], math.Float64bits(s.Weight))
+		if err := cw.write(bits[:]); err != nil {
+			return err
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.sum.Sum32())
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCapture reads a SaveCapture stream, verifying its checksum.
+func LoadCapture(r io.Reader) ([]workload.CaptureState, error) {
+	cr := &checkedReader{r: bufio.NewReader(r), sum: crc32.New(crcTable)}
+	head := make([]byte, len(magicCap))
+	if err := cr.read(head); err != nil {
+		return nil, fmt.Errorf("persist: reading capture magic: %w", err)
+	}
+	if string(head) != string(magicCap) {
+		return nil, fmt.Errorf("persist: not a capture sidecar (bad magic %q)", head)
+	}
+	count, err := cr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > maxStringLen {
+		return nil, fmt.Errorf("persist: capture count %d exceeds limit", count)
+	}
+	states := make([]workload.CaptureState, 0, count)
+	for i := uint64(0); i < count; i++ {
+		raw, err := cr.str()
+		if err != nil {
+			return nil, err
+		}
+		var bits [8]byte
+		if err := cr.read(bits[:]); err != nil {
+			return nil, err
+		}
+		states = append(states, workload.CaptureState{
+			Raw:    raw,
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(bits[:])),
+		})
+	}
+	wantSum := cr.sum.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("persist: reading capture checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != wantSum {
+		return nil, fmt.Errorf("persist: capture checksum mismatch")
+	}
+	return states, nil
+}
+
+// SaveCaptureFile writes a capture sidecar to path atomically.
+func SaveCaptureFile(path string, states []workload.CaptureState) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return SaveCapture(w, states)
+	})
+}
+
+// LoadCaptureFile reads a capture sidecar from path.
+func LoadCaptureFile(path string) ([]workload.CaptureState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCapture(f)
 }

@@ -12,6 +12,7 @@ import (
 
 	"xixa/internal/storage"
 	"xixa/internal/tpox"
+	"xixa/internal/workload"
 	"xixa/internal/xindex"
 	"xixa/internal/xmltree"
 	"xixa/internal/xpath"
@@ -248,7 +249,8 @@ func TestDocIDsSurviveRoundTrip(t *testing.T) {
 func saveV1(t *testing.T, db *storage.Database, defs []xindex.Definition) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	cw := &countingWriter{w: bufio.NewWriter(&buf), sum: crc32.New(crcTable)}
+	bw := bufio.NewWriter(&buf)
+	cw := &countingWriter{w: bw, sum: crc32.New(crcTable)}
 	must := func(err error) {
 		t.Helper()
 		if err != nil {
@@ -281,10 +283,10 @@ func saveV1(t *testing.T, db *storage.Database, defs []xindex.Definition) []byte
 	var crcBuf [4]byte
 	binary.LittleEndian.PutUint32(crcBuf[:], cw.sum.Sum32())
 	buf2 := crcBuf[:]
-	if _, err := cw.w.Write(buf2); err != nil {
+	if _, err := bw.Write(buf2); err != nil {
 		t.Fatal(err)
 	}
-	must(cw.w.Flush())
+	must(bw.Flush())
 	return buf.Bytes()
 }
 
@@ -366,5 +368,206 @@ func TestRebuildIndexesWarmStart(t *testing.T) {
 	// Unknown table fails loudly instead of silently skipping.
 	if _, err := RebuildIndexes(storage.NewDatabase(), defs); err == nil {
 		t.Fatal("RebuildIndexes against empty database succeeded")
+	}
+}
+
+// saveV2 writes a version-2 snapshot (nextID/docID but no LSN), so the
+// read-compat path for the pre-WAL format stays covered.
+func saveV2(t *testing.T, db *storage.Database, defs []xindex.Definition) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	cw := &countingWriter{w: bw, sum: crc32.New(crcTable)}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(cw.write([]byte("XIXADB2\n")))
+	names := db.TableNames()
+	must(cw.uvarint(uint64(len(names))))
+	for _, name := range names {
+		tbl, err := db.Table(name)
+		must(err)
+		must(cw.str(name))
+		must(cw.uvarint(uint64(tbl.NextID())))
+		must(cw.uvarint(uint64(tbl.DocCount())))
+		tbl.Scan(func(doc *xmltree.Document) bool {
+			must(cw.uvarint(uint64(doc.DocID)))
+			must(writeDoc(cw, doc))
+			return true
+		})
+	}
+	must(cw.uvarint(uint64(len(defs))))
+	for _, def := range defs {
+		must(cw.str(def.Table))
+		must(cw.str(def.Pattern.String()))
+		kind := byte(0)
+		if def.Type == xpath.NumberVal {
+			kind = 1
+		}
+		must(cw.write([]byte{kind}))
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.sum.Sum32())
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	must(bw.Flush())
+	return buf.Bytes()
+}
+
+func TestV2SnapshotsStillLoad(t *testing.T) {
+	db := storage.NewDatabase()
+	tbl := db.MustCreateTable("T")
+	for i := 0; i < 4; i++ {
+		tbl.Insert(xmltree.NewBuilder().Begin("Doc").LeafInt("N", int64(i)).End().Document())
+	}
+	tbl.Delete(1)
+	raw := saveV2(t, db, snapshotDefs())
+	db2, defs, lsn, err := LoadCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("loading v2 snapshot: %v", err)
+	}
+	if lsn != 0 {
+		t.Fatalf("v2 snapshot loaded with LSN %d, want 0", lsn)
+	}
+	if len(defs) != len(snapshotDefs()) {
+		t.Fatalf("loaded %d defs, want %d", len(defs), len(snapshotDefs()))
+	}
+	tbl2, err := db2.Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.DocCount() != 3 || tbl2.NextID() != tbl.NextID() {
+		t.Fatalf("v2 load: %d docs nextID %d, want 3/%d", tbl2.DocCount(), tbl2.NextID(), tbl.NextID())
+	}
+}
+
+func TestCheckpointLSNRoundTrip(t *testing.T) {
+	db := storage.NewDatabase()
+	db.MustCreateTable("T").Insert(xmltree.MustParse(`<a><b>x</b></a>`))
+	for _, lsn := range []uint64{0, 1, 127, 128, 1 << 40} {
+		var buf bytes.Buffer
+		if err := SaveCheckpoint(&buf, db, snapshotDefs(), lsn); err != nil {
+			t.Fatal(err)
+		}
+		_, defs, got, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("lsn %d: %v", lsn, err)
+		}
+		if got != lsn {
+			t.Fatalf("LSN round trip: got %d, want %d", got, lsn)
+		}
+		if len(defs) != len(snapshotDefs()) {
+			t.Fatalf("lsn %d: %d defs, want %d", lsn, len(defs), len(snapshotDefs()))
+		}
+	}
+}
+
+// TestCorruptByteRegions flips one byte in each structural region of a
+// checkpoint: every flip must fail the load cleanly (CRC mismatch or a
+// structural error), never panic, and never return corrupt data.
+func TestCorruptByteRegions(t *testing.T) {
+	db := storage.NewDatabase()
+	tbl := db.MustCreateTable("SECURITY")
+	for i := 0; i < 6; i++ {
+		tbl.Insert(xmltree.MustParse(`<Security><Symbol>AAA</Symbol><Yield>4.5</Yield></Security>`))
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, db, snapshotDefs(), 42); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	n := len(data)
+	regions := []struct {
+		name string
+		off  int
+	}{
+		{"magic", 3},
+		{"lsn", len(magic)},
+		{"table-header", len(magic) + 3},
+		{"doc-payload-early", n / 4},
+		{"doc-payload-mid", n / 2},
+		{"def-region", n - 20},
+		{"crc", n - 2},
+	}
+	for _, r := range regions {
+		t.Run(r.name, func(t *testing.T) {
+			mut := append([]byte(nil), data...)
+			mut[r.off] ^= 0xFF
+			if _, _, _, err := LoadCheckpoint(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("flip at %d (%s) loaded without error", r.off, r.name)
+			}
+		})
+	}
+}
+
+func TestCaptureSidecarRoundTrip(t *testing.T) {
+	states := []workload.CaptureState{
+		{Raw: `for $s in SECURITY('SDOC')/Security where $s/Symbol = "A" return $s`, Weight: 12.5},
+		{Raw: `delete from SECURITY where /Security[Symbol="B"]`, Weight: 0.75},
+		{Raw: `insert into SECURITY value <Security><Symbol>C</Symbol></Security>`, Weight: 3},
+	}
+	var buf bytes.Buffer
+	if err := SaveCapture(&buf, states); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(states) {
+		t.Fatalf("loaded %d entries, want %d", len(got), len(states))
+	}
+	for i := range states {
+		if got[i] != states[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], states[i])
+		}
+	}
+
+	// Corruption and truncation fail cleanly.
+	data := buf.Bytes()
+	for off := 0; off < len(data); off += 7 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0xFF
+		if _, err := LoadCapture(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at %d loaded without error", off)
+		}
+	}
+	for _, cut := range []int{1, len(data) / 2, len(data) - 1} {
+		if _, err := LoadCapture(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d loaded without error", cut)
+		}
+	}
+
+	// File round trip (atomic write path).
+	path := filepath.Join(t.TempDir(), "cap.sidecar")
+	if err := SaveCaptureFile(path, states); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadCaptureFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(states) {
+		t.Fatalf("file round trip: %d entries, want %d", len(got2), len(states))
+	}
+}
+
+func TestEncodeDecodeDoc(t *testing.T) {
+	doc := xmltree.MustParse(`<Order id="9"><Cust vip="y">Ann &amp; Bo</Cust><Total>7.25</Total></Order>`)
+	var buf bytes.Buffer
+	if err := EncodeDoc(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDoc(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmltree.SerializeString(got) != xmltree.SerializeString(doc) {
+		t.Fatalf("doc round trip mismatch:\n got %s\nwant %s",
+			xmltree.SerializeString(got), xmltree.SerializeString(doc))
 	}
 }

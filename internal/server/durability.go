@@ -1,0 +1,341 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xixa/internal/persist"
+	"xixa/internal/storage"
+	"xixa/internal/wal"
+	"xixa/internal/xindex"
+)
+
+// Durability directory layout: one checkpoint (an LSN-stamped persist
+// snapshot plus the capture sidecar) and the write-ahead log tail past
+// that checkpoint's LSN.
+const (
+	checkpointFile = "checkpoint.db"
+	captureFile    = "checkpoint.capture"
+	walLogFile     = "wal.log"
+)
+
+// ErrNoWAL reports a durability operation on a server without a WAL.
+var ErrNoWAL = errors.New("server: no WAL attached (start with Recover and Config.WALDir)")
+
+// RecoverInfo reports what Recover found and did.
+type RecoverInfo struct {
+	// CheckpointLSN is the WAL position of the loaded checkpoint
+	// (0 when no checkpoint existed).
+	CheckpointLSN uint64
+	// Replayed is the number of WAL records applied past the
+	// checkpoint.
+	Replayed int
+	// Torn reports that the WAL ended in a torn or corrupt record,
+	// which was truncated away — the expected wreckage of a crash
+	// mid-append, not an error.
+	Torn bool
+	// Bootstrapped reports that no durable state existed and the
+	// bootstrap callback seeded the database.
+	Bootstrapped bool
+	// IndexesRebuilt is the number of catalog indexes rebuilt online
+	// from the recovered definitions.
+	IndexesRebuilt int
+	// CaptureRestored is the number of workload-capture entries
+	// warm-started from the checkpoint's sidecar.
+	CaptureRestored int
+	// CaptureError, when non-nil, reports a sidecar that existed but
+	// would not load (corruption). Recovery proceeds with a cold
+	// capture — the sidecar is a warm-start cache, not data — and the
+	// caller decides whether to log it.
+	CaptureError error
+}
+
+func (i *RecoverInfo) String() string {
+	if i.Bootstrapped {
+		return "recover: bootstrapped fresh database (initial checkpoint written)"
+	}
+	s := fmt.Sprintf("recover: checkpoint LSN %d, %d WAL records replayed, %d indexes rebuilt, %d capture entries restored",
+		i.CheckpointLSN, i.Replayed, i.IndexesRebuilt, i.CaptureRestored)
+	if i.Torn {
+		s += " (torn final record truncated)"
+	}
+	if i.CaptureError != nil {
+		s += fmt.Sprintf(" (capture sidecar unreadable, starting cold: %v)", i.CaptureError)
+	}
+	return s
+}
+
+// Recover builds a durable server from cfg.WALDir: it loads the newest
+// checkpoint if one exists, replays the WAL tail past the checkpoint's
+// LSN (tolerating a torn final record: replay stops at the first CRC
+// mismatch and the tear is truncated away), rebuilds the recovered
+// index catalog online, warm-starts the workload capture from the
+// checkpoint's sidecar, and attaches the WAL sink to every table
+// before the first session can open. If the directory holds no durable
+// state, bootstrap (may be nil) seeds the database and an initial
+// checkpoint is written before serving, so the seed data itself is
+// never at risk.
+//
+// This is the daemon's one start path: a graceful restart and a
+// crash recovery differ only in how many records the tail holds.
+func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, *RecoverInfo, error) {
+	cfg = cfg.withDefaults()
+	if cfg.WALDir == "" {
+		return nil, nil, errors.New("server: Recover requires Config.WALDir")
+	}
+	if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	info := &RecoverInfo{}
+
+	// Load the checkpoint, if any. Only a clean "does not exist" may
+	// be treated as fresh state — any other stat failure could be
+	// hiding a checkpoint, and recovering without it loses data.
+	var db *storage.Database
+	var defs []xindex.Definition
+	chkPath := filepath.Join(cfg.WALDir, checkpointFile)
+	hadCheckpoint := false
+	if _, err := os.Stat(chkPath); err == nil {
+		db, defs, info.CheckpointLSN, err = persist.LoadCheckpointFile(chkPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: loading checkpoint: %w", err)
+		}
+		hadCheckpoint = true
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("server: checking checkpoint: %w", err)
+	}
+
+	// Open the log and scan its intact records.
+	l, scanned, err := wal.Open(filepath.Join(cfg.WALDir, walLogFile), wal.Options{
+		Policy:   cfg.SyncPolicy,
+		MaxDelay: cfg.SyncMaxDelay,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	info.Torn = scanned.Torn
+	fail := func(err error) (*Server, *RecoverInfo, error) {
+		l.Close()
+		return nil, nil, err
+	}
+
+	// Any durable state implies a checkpoint exists: Recover always
+	// writes the initial one before a single session can open, so a
+	// WAL with a non-zero start OR any records at all proves a
+	// checkpoint was written and is now missing (deleted, restored
+	// from an older backup). Recovering anyway would silently rebuild
+	// a gutted database from the tail alone — and then cement the
+	// loss with a fresh checkpoint. Refuse loudly.
+	if !hadCheckpoint && (l.StartLSN() > 0 || len(scanned.Records) > 0) {
+		return fail(fmt.Errorf("server: WAL holds history (start LSN %d, %d records) but no checkpoint found in %s — refusing to recover a partial database", l.StartLSN(), len(scanned.Records), cfg.WALDir))
+	}
+	if hadCheckpoint && info.CheckpointLSN < l.StartLSN() {
+		return fail(fmt.Errorf("server: checkpoint is stamped LSN %d but the WAL already starts at %d — the checkpoint predates a later truncation and records are missing", info.CheckpointLSN, l.StartLSN()))
+	}
+	// A checkpoint beyond the log's last LSN is recoverable — the
+	// snapshot already contains everything through its stamp, and any
+	// leftover records are skipped — but the log's sequence must be
+	// advanced past the stamp first: a recreated-from-scratch log
+	// would otherwise re-issue LSNs the checkpoint covers, and the
+	// NEXT recovery would silently skip those freshly committed
+	// records.
+	if hadCheckpoint && info.CheckpointLSN > l.LastLSN() {
+		if err := l.Truncate(info.CheckpointLSN); err != nil {
+			return fail(err)
+		}
+	}
+
+	switch {
+	case db == nil && bootstrap != nil:
+		// Fresh directory (the guard above proved the WAL is empty).
+		if db, err = bootstrap(); err != nil {
+			return fail(err)
+		}
+		info.Bootstrapped = true
+	case db == nil:
+		db = storage.NewDatabase()
+	}
+
+	// Redo the tail past the checkpoint.
+	defs, info.Replayed, err = replayRecords(db, defs, scanned.Records, info.CheckpointLSN)
+	if err != nil {
+		return fail(err)
+	}
+
+	s := New(db, cfg)
+	for _, def := range defs {
+		if _, err := s.mgr.EnsureBuilt(def); err != nil {
+			return fail(err)
+		}
+	}
+	info.IndexesRebuilt = len(defs)
+
+	// The sink attaches only now: replayed mutations must not be
+	// re-logged, and no session can open before Recover returns.
+	s.attachWAL(l, cfg.WALDir)
+
+	// The capture sidecar is a warm-start cache, not data: a corrupt
+	// one must not block recovery of an otherwise-healthy server. The
+	// tuner just relearns the workload from live traffic.
+	if states, err := persist.LoadCaptureFile(filepath.Join(cfg.WALDir, captureFile)); err == nil {
+		info.CaptureRestored = s.capture.Import(states)
+	} else if !os.IsNotExist(err) {
+		info.CaptureError = err
+	}
+
+	if !hadCheckpoint {
+		// First run (or crash before the initial checkpoint): write one
+		// now so the bootstrap data is durable before traffic arrives.
+		if err := s.Checkpoint(); err != nil {
+			return fail(err)
+		}
+	}
+	return s, info, nil
+}
+
+// replayRecords applies the WAL tail past afterLSN to the database and
+// returns the index definition list with create/drop records folded
+// in. A copy-on-write update is one RecDocReplace record applied as a
+// storage.Replace, preserving the document's insertion-order position
+// — the atomicity lives in the record itself, so no tear can leave
+// the remove half applied without its insert (a state that never
+// existed in memory).
+func replayRecords(db *storage.Database, defs []xindex.Definition, recs []wal.Record, afterLSN uint64) ([]xindex.Definition, int, error) {
+	table := func(name string) (*storage.Table, error) {
+		if tbl, err := db.Table(name); err == nil {
+			return tbl, nil
+		}
+		return db.CreateTable(name)
+	}
+	applied := 0
+	for i := range recs {
+		rec := &recs[i]
+		if rec.LSN <= afterLSN {
+			continue
+		}
+		switch rec.Kind {
+		case wal.RecDocInsert:
+			tbl, err := table(rec.Table)
+			if err != nil {
+				return defs, applied, err
+			}
+			if err := tbl.InsertAt(rec.Doc, rec.DocID); err != nil {
+				return defs, applied, fmt.Errorf("server: replay LSN %d: %w", rec.LSN, err)
+			}
+		case wal.RecDocReplace:
+			tbl, err := table(rec.Table)
+			if err != nil {
+				return defs, applied, err
+			}
+			if !tbl.Replace(rec.DocID, rec.Doc) {
+				return defs, applied, fmt.Errorf("server: replay LSN %d: replace of missing doc %d in %s", rec.LSN, rec.DocID, rec.Table)
+			}
+		case wal.RecDocRemove:
+			tbl, err := table(rec.Table)
+			if err != nil {
+				return defs, applied, err
+			}
+			tbl.Delete(rec.DocID)
+		case wal.RecIndexCreate:
+			defs = addDef(defs, rec.Def)
+		case wal.RecIndexDrop:
+			defs = removeDef(defs, rec.Def)
+		default:
+			return defs, applied, fmt.Errorf("server: replay LSN %d: unknown record kind %v", rec.LSN, rec.Kind)
+		}
+		applied++
+	}
+	return defs, applied, nil
+}
+
+func addDef(defs []xindex.Definition, def xindex.Definition) []xindex.Definition {
+	key := def.Key()
+	for _, d := range defs {
+		if d.Key() == key {
+			return defs
+		}
+	}
+	return append(defs, def)
+}
+
+func removeDef(defs []xindex.Definition, def xindex.Definition) []xindex.Definition {
+	key := def.Key()
+	for i, d := range defs {
+		if d.Key() == key {
+			return append(defs[:i], defs[i+1:]...)
+		}
+	}
+	return defs
+}
+
+// attachWAL wires the log under the server: every table's change feed
+// gains a sink that appends the mutation to the log (buffered; the
+// statement's Commit after the writer lock releases makes it durable),
+// so the WAL sees exactly the logical events the statistics keeper and
+// online indexes see.
+func (s *Server) attachWAL(l *wal.Log, dir string) {
+	s.wal = l
+	s.walDir = dir
+	for _, name := range s.db.TableNames() {
+		tbl, err := s.db.Table(name)
+		if err != nil {
+			continue
+		}
+		t := tbl
+		id := t.Subscribe(func(c storage.Change) {
+			// Append errors are sticky inside the log; the committing
+			// statement surfaces them. A copy-on-write replacement
+			// arrives as a Replaced remove+insert pair under one table
+			// lock hold; only the insert half is logged, as a single
+			// atomic RecDocReplace, so no crash can tear the pair.
+			switch {
+			case c.Kind == storage.DocInserted && c.Replaced:
+				s.wal.AppendDocReplace(t.Name, c.Doc)
+			case c.Kind == storage.DocInserted:
+				s.wal.AppendDocInsert(t.Name, c.Doc)
+			case c.Kind == storage.DocRemoved && !c.Replaced:
+				s.wal.AppendDocRemove(t.Name, c.Doc.DocID)
+			}
+		})
+		s.walSubs = append(s.walSubs, walSub{tbl: t, id: id})
+	}
+}
+
+// WAL returns the server's write-ahead log (nil without durability).
+func (s *Server) WAL() *wal.Log { return s.wal }
+
+// Checkpoint writes an LSN-stamped snapshot of the database and
+// catalog plus the workload-capture sidecar, then truncates the WAL:
+// replay time is bounded by the traffic since the last checkpoint, not
+// since process start. It serializes with the tuning loop (index
+// lifecycle changes land entirely before or after the checkpoint) and
+// holds the writer lock while the snapshot streams out, so mutating
+// statements pause; queries proceed.
+func (s *Server) Checkpoint() error {
+	if s.wal == nil {
+		return ErrNoWAL
+	}
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint under an already-held loopMu (the
+// autonomous loop checkpoints from its own tick).
+func (s *Server) checkpointLocked() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	// Both locks held: no doc mutations (writeMu) and no index
+	// lifecycle changes (loopMu) can append, so LastLSN is exactly the
+	// state the snapshot captures.
+	lsn := s.wal.LastLSN()
+	if err := persist.SaveCheckpointFile(filepath.Join(s.walDir, checkpointFile), s.db, s.cat.Definitions(), lsn); err != nil {
+		return err
+	}
+	if err := persist.SaveCaptureFile(filepath.Join(s.walDir, captureFile), s.capture.Export()); err != nil {
+		return err
+	}
+	return s.wal.Truncate(lsn)
+}

@@ -38,6 +38,7 @@ import (
 	"xixa/internal/engine"
 	"xixa/internal/optimizer"
 	"xixa/internal/storage"
+	"xixa/internal/wal"
 	"xixa/internal/workload"
 	"xixa/internal/xindex"
 	"xixa/internal/xquery"
@@ -96,6 +97,21 @@ type Config struct {
 	// Parallelism is threaded into each advisor round
 	// (core.Options.Parallelism).
 	Parallelism int
+
+	// WALDir enables the durability layer when the server is started
+	// through Recover: the directory holding the write-ahead log and
+	// its checkpoints. Empty = no durability (New never opens a WAL).
+	WALDir string
+	// SyncPolicy selects when commits reach stable storage
+	// (wal.SyncAlways / SyncBatched / SyncOff; the zero value is
+	// SyncAlways).
+	SyncPolicy wal.SyncPolicy
+	// SyncMaxDelay bounds the background fsync lag under
+	// wal.SyncBatched (0 = 2ms).
+	SyncMaxDelay time.Duration
+	// CheckpointBytes triggers an automatic checkpoint from the tuning
+	// loop's ticker once the WAL grows past it (0 = 64 MiB).
+	CheckpointBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -126,7 +142,16 @@ func (c Config) withDefaults() Config {
 	if c.DropAfter <= 0 {
 		c.DropAfter = 3
 	}
+	if c.CheckpointBytes <= 0 {
+		c.CheckpointBytes = 64 << 20
+	}
 	return c
+}
+
+// walSub is one table's WAL-sink subscription handle.
+type walSub struct {
+	tbl *storage.Table
+	id  storage.SubID
 }
 
 // gate is the in-flight statement barrier deferred drops wait on:
@@ -166,6 +191,14 @@ type Server struct {
 	mgr *xindex.Manager
 
 	capture *workload.Capture
+
+	// wal, when non-nil (servers started through Recover), is the
+	// write-ahead log every table's change feed appends into; walSubs
+	// are the sink subscriptions, detached on Close because the
+	// database is caller-owned and may outlive the server.
+	wal     *wal.Log
+	walDir  string
+	walSubs []walSub
 
 	admit   chan struct{} // bounds statements in the system
 	slots   chan struct{} // bounds statements executing
@@ -317,12 +350,31 @@ func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 	wg := s.flight.enter()
 	defer wg.Done()
 
+	var refs []xindex.Ref
+	var st engine.Stats
+	var err error
 	if stmt.Kind != xquery.Query {
+		// Mutations serialize on the writer lock, but the durability
+		// wait happens after it is released: while this session waits
+		// for the group fsync, the next writer already executes and
+		// appends, so one fsync covers the whole batch (group commit)
+		// and commit throughput scales with batch size instead of disk
+		// latency.
 		s.writeMu.Lock()
-		defer s.writeMu.Unlock()
+		refs, st, err = s.eng.Execute(stmt)
+		var lsn uint64
+		if err == nil && s.wal != nil {
+			lsn = s.wal.LastLSN()
+		}
+		s.writeMu.Unlock()
+		if err == nil && s.wal != nil {
+			if cerr := s.wal.Commit(lsn); cerr != nil {
+				err = fmt.Errorf("server: wal commit: %w", cerr)
+			}
+		}
+	} else {
+		refs, st, err = s.eng.Execute(stmt)
 	}
-
-	refs, st, err := s.eng.Execute(stmt)
 	sess.mu.Lock()
 	if err != nil {
 		sess.errors++
@@ -350,9 +402,12 @@ func (sess *Session) Explain(raw string) (*optimizer.Plan, error) {
 
 // Close shuts the server down: the autonomous tuning loop stops, new
 // statements are rejected with ErrClosed, in-flight statements drain,
-// and every online-built index releases its change-feed subscription —
-// the database is caller-owned and may outlive the server, and a dead
-// server's indexes must not keep taxing its mutations.
+// every online-built index releases its change-feed subscription — the
+// database is caller-owned and may outlive the server, and a dead
+// server's indexes must not keep taxing its mutations — and the WAL
+// sink detaches and the log flushes, fsyncs, and closes. Close does
+// NOT checkpoint; a shutdown without one simply leaves a longer tail
+// for the next Recover to replay.
 func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
@@ -363,6 +418,12 @@ func (s *Server) Close() {
 		if idx, ok := s.cat.Get(def); ok {
 			idx.Release()
 		}
+	}
+	for _, sub := range s.walSubs {
+		sub.tbl.Unsubscribe(sub.id)
+	}
+	if s.wal != nil {
+		s.wal.Close()
 	}
 }
 

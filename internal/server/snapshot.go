@@ -11,6 +11,11 @@ import (
 // coming up cold and waiting for the tuning loop to rediscover its
 // configuration. The rebuilt indexes go through the online build path,
 // leaving them feed-maintained exactly like tuning-loop-built ones.
+//
+// OpenSnapshot is the non-durable warm start: mutations after the
+// snapshot live only in memory. Daemons that must survive a crash
+// start through Recover instead, which layers the write-ahead log
+// under the same snapshot format.
 func OpenSnapshot(path string, cfg Config) (*Server, error) {
 	db, defs, err := persist.LoadFile(path)
 	if err != nil {

@@ -51,7 +51,10 @@ type TuneReport struct {
 	// Benefit is the advisor's estimated workload benefit of the
 	// recommended configuration.
 	Benefit float64
-	Elapsed time.Duration
+	// Checkpointed reports that the autonomous loop wrote a checkpoint
+	// after this round because the WAL grew past CheckpointBytes.
+	Checkpointed bool
+	Elapsed      time.Duration
 }
 
 // String renders the report as one log line.
@@ -59,9 +62,13 @@ func (r *TuneReport) String() string {
 	if r.Skipped {
 		return fmt.Sprintf("tune round %d: skipped (no captured workload)", r.Round)
 	}
-	return fmt.Sprintf("tune round %d: %d stmts -> %d recommended, built %d, dropped %d (pending %d/%d) in %v",
+	suffix := ""
+	if r.Checkpointed {
+		suffix = " [checkpointed]"
+	}
+	return fmt.Sprintf("tune round %d: %d stmts -> %d recommended, built %d, dropped %d (pending %d/%d) in %v%s",
 		r.Round, r.WorkloadSize, len(r.Recommended), len(r.Built), len(r.Dropped),
-		r.PendingBuild, r.PendingDrop, r.Elapsed.Round(time.Millisecond))
+		r.PendingBuild, r.PendingDrop, r.Elapsed.Round(time.Millisecond), suffix)
 }
 
 // TuneOnce runs one tuning round: snapshot the captured workload, run
@@ -139,6 +146,25 @@ func (s *Server) tuneOnceLocked() (*TuneReport, error) {
 		return rep, err
 	}
 
+	// Catalog changes are logged like any other mutation: a crash after
+	// this round recovers the same index configuration the tuner left.
+	if s.wal != nil && len(built)+len(dropped) > 0 {
+		var lsn uint64
+		for _, def := range built {
+			if lsn, err = s.wal.AppendIndexCreate(def); err != nil {
+				return rep, err
+			}
+		}
+		for _, def := range dropped {
+			if lsn, err = s.wal.AppendIndexDrop(def); err != nil {
+				return rep, err
+			}
+		}
+		if err := s.wal.Commit(lsn); err != nil {
+			return rep, err
+		}
+	}
+
 	s.capture.Decay(t.cfg.DecayFactor, t.cfg.DecayFloor)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
@@ -172,6 +198,18 @@ func (s *Server) StartAutoTune(observe func(*TuneReport, error)) {
 					return
 				}
 				rep, err := s.tuneOnceLocked()
+				// The loop's ticker doubles as the checkpoint trigger:
+				// once the WAL grows past the threshold, fold a
+				// checkpoint into the round so replay-on-recovery stays
+				// bounded no matter how long the daemon runs.
+				if s.wal != nil && s.wal.SizeBytes() >= s.cfg.CheckpointBytes {
+					cerr := s.checkpointLocked()
+					if cerr == nil {
+						rep.Checkpointed = true
+					} else if err == nil {
+						err = cerr
+					}
+				}
 				s.loopMu.Unlock()
 				if observe != nil {
 					observe(rep, err)

@@ -42,6 +42,15 @@ type Change struct {
 	Doc *xmltree.Document
 	// Version is the table's mutation counter after this change.
 	Version int64
+	// Replaced marks the two halves of an atomic replacement
+	// (Replace or Update): a DocRemoved with Replaced set is followed
+	// immediately, under the same lock hold, by a DocInserted with
+	// Replaced set for the same document ID. Subscribers that must
+	// treat the replacement as one indivisible event (the write-ahead
+	// log, which cannot afford a crash splitting the pair) key on it;
+	// value-level subscribers can ignore it and handle the pair as an
+	// ordinary remove+insert.
+	Replaced bool
 }
 
 // tombstone marks a deleted slot in the insertion-order slice.
@@ -280,10 +289,10 @@ func (t *Table) Replace(id int64, newDoc *xmltree.Document) bool {
 	t.nodes += int64(newDoc.Len()) - int64(old.Len())
 	t.bytes += newDoc.StorageBytes() - old.StorageBytes()
 	t.version++
-	t.notify(Change{Kind: DocRemoved, Doc: old, Version: t.version})
+	t.notify(Change{Kind: DocRemoved, Doc: old, Version: t.version, Replaced: true})
 	t.docs[id] = newDoc
 	t.version++
-	t.notify(Change{Kind: DocInserted, Doc: newDoc, Version: t.version})
+	t.notify(Change{Kind: DocInserted, Doc: newDoc, Version: t.version, Replaced: true})
 	return true
 }
 
@@ -312,12 +321,12 @@ func (t *Table) Update(id int64, mutate func(*xmltree.Document)) bool {
 		return false
 	}
 	t.version++
-	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version})
+	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version, Replaced: true})
 	preBytes := doc.StorageBytes()
 	mutate(doc)
 	t.bytes += doc.StorageBytes() - preBytes
 	t.version++
-	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version})
+	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version, Replaced: true})
 	return true
 }
 

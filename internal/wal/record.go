@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"xixa/internal/persist"
+	"xixa/internal/xindex"
+	"xixa/internal/xmltree"
+	"xixa/internal/xpath"
+)
+
+// RecKind discriminates log records. The set mirrors the storage
+// change feed (document insert/remove) plus the catalog's index
+// definition lifecycle.
+type RecKind uint8
+
+const (
+	// RecDocInsert carries a full document entering a table (insert,
+	// or the re-add half of a copy-on-write update).
+	RecDocInsert RecKind = iota + 1
+	// RecDocRemove carries a document ID leaving a table.
+	RecDocRemove
+	// RecIndexCreate and RecIndexDrop carry an index definition
+	// entering or leaving the materialized catalog.
+	RecIndexCreate
+	RecIndexDrop
+	// RecDocReplace carries a copy-on-write replacement (the engine's
+	// UPDATE path) as ONE record: remove of the pre-image and insert
+	// of the post-image under the same ID, applied atomically on
+	// replay. Logging the halves as two records would let a crash tear
+	// them apart — recovery would then delete a committed document and
+	// materialize a state that never existed in memory.
+	RecDocReplace
+)
+
+func (k RecKind) String() string {
+	switch k {
+	case RecDocInsert:
+		return "doc-insert"
+	case RecDocRemove:
+		return "doc-remove"
+	case RecIndexCreate:
+		return "index-create"
+	case RecIndexDrop:
+		return "index-drop"
+	case RecDocReplace:
+		return "doc-replace"
+	}
+	return fmt.Sprintf("rec(%d)", uint8(k))
+}
+
+// Record is one decoded log record.
+type Record struct {
+	LSN   uint64
+	Kind  RecKind
+	Table string
+	// DocID identifies the document for RecDocInsert and RecDocRemove.
+	DocID int64
+	// Doc is the full document payload of a RecDocInsert or
+	// RecDocReplace, encoded with the persist node encoding so the
+	// snapshot and the log agree on what a document is.
+	Doc *xmltree.Document
+	// Def is the definition of a RecIndexCreate or RecIndexDrop.
+	Def xindex.Definition
+}
+
+// payload builders — frame layout per kind:
+//
+//	doc-insert:   kind, str table, uvarint docID, persist doc encoding
+//	doc-replace:  kind, str table, uvarint docID, persist doc encoding
+//	doc-remove:   kind, str table, uvarint docID
+//	index-*:      kind, str table, str pattern, byte valueKind
+
+func putStr(b *bytes.Buffer, s string) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s)))])
+	b.WriteString(s)
+}
+
+func putUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+// AppendDocInsert logs a document (with its assigned ID) entering a
+// table, returning the record's LSN.
+func (l *Log) AppendDocInsert(table string, doc *xmltree.Document) (uint64, error) {
+	return l.appendDoc(RecDocInsert, table, doc)
+}
+
+// AppendDocReplace logs an atomic replacement: the document under
+// doc.DocID swaps to this post-image in one record.
+func (l *Log) AppendDocReplace(table string, doc *xmltree.Document) (uint64, error) {
+	return l.appendDoc(RecDocReplace, table, doc)
+}
+
+func (l *Log) appendDoc(kind RecKind, table string, doc *xmltree.Document) (uint64, error) {
+	var b bytes.Buffer
+	b.WriteByte(byte(kind))
+	putStr(&b, table)
+	putUvarint(&b, uint64(doc.DocID))
+	if err := persist.EncodeDoc(&b, doc); err != nil {
+		return 0, err
+	}
+	return l.append(b.Bytes())
+}
+
+// AppendDocRemove logs a document leaving a table.
+func (l *Log) AppendDocRemove(table string, docID int64) (uint64, error) {
+	var b bytes.Buffer
+	b.WriteByte(byte(RecDocRemove))
+	putStr(&b, table)
+	putUvarint(&b, uint64(docID))
+	return l.append(b.Bytes())
+}
+
+// AppendIndexCreate logs an index definition entering the catalog.
+func (l *Log) AppendIndexCreate(def xindex.Definition) (uint64, error) {
+	return l.appendIndex(RecIndexCreate, def)
+}
+
+// AppendIndexDrop logs an index definition leaving the catalog.
+func (l *Log) AppendIndexDrop(def xindex.Definition) (uint64, error) {
+	return l.appendIndex(RecIndexDrop, def)
+}
+
+func (l *Log) appendIndex(kind RecKind, def xindex.Definition) (uint64, error) {
+	var b bytes.Buffer
+	b.WriteByte(byte(kind))
+	putStr(&b, def.Table)
+	putStr(&b, def.Pattern.String())
+	vk := byte(0)
+	if def.Type == xpath.NumberVal {
+		vk = 1
+	}
+	b.WriteByte(vk)
+	return l.append(b.Bytes())
+}
+
+// byteReader reads the scalar prefix of a payload.
+type byteReader struct {
+	buf []byte
+	off int
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("wal: truncated payload")
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *byteReader) str() (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		return "", fmt.Errorf("wal: string length %d overruns payload", n)
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func decodeRecord(lsn uint64, payload []byte) (Record, error) {
+	r := &byteReader{buf: payload}
+	kb, err := r.ReadByte()
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{LSN: lsn, Kind: RecKind(kb)}
+	switch rec.Kind {
+	case RecDocInsert, RecDocReplace:
+		if rec.Table, err = r.str(); err != nil {
+			return Record{}, err
+		}
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.DocID = int64(id)
+		doc, err := persist.DecodeDoc(bytes.NewReader(payload[r.off:]))
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: doc-insert payload: %w", err)
+		}
+		doc.DocID = rec.DocID
+		rec.Doc = doc
+	case RecDocRemove:
+		if rec.Table, err = r.str(); err != nil {
+			return Record{}, err
+		}
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Record{}, err
+		}
+		rec.DocID = int64(id)
+	case RecIndexCreate, RecIndexDrop:
+		table, err := r.str()
+		if err != nil {
+			return Record{}, err
+		}
+		patText, err := r.str()
+		if err != nil {
+			return Record{}, err
+		}
+		pattern, err := xpath.ParsePattern(patText)
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: index record pattern: %w", err)
+		}
+		vk, err := r.ReadByte()
+		if err != nil {
+			return Record{}, err
+		}
+		kind := xpath.StringVal
+		if vk == 1 {
+			kind = xpath.NumberVal
+		}
+		rec.Def = xindex.Definition{Table: table, Pattern: pattern, Type: kind}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", kb)
+	}
+	return rec, nil
+}

@@ -1,0 +1,584 @@
+// Package wal implements the write-ahead log underneath the serving
+// layer: an append-only, CRC-per-record, length-prefixed log of the
+// logical mutations the storage change feed emits (document insert,
+// remove, and atomic replace with the full node payload, index
+// definition create and drop).
+// A snapshot stamped with the log's LSN (persist's checkpoint format)
+// plus the log tail past that LSN is a complete redo history, so a
+// crashed server recovers every committed mutation by replaying the
+// tail — see server.Recover.
+//
+// File format (little-endian):
+//
+//	header: magic "XIXAWAL1", uint64 startLSN, uint32 CRC-32C of both
+//	record: uint32 payloadLen, uint32 CRC-32C(payload), payload
+//
+// Records carry no explicit LSN: the i-th record in the file (counting
+// from zero) has LSN startLSN+i+1, and startLSN is rewritten by
+// Truncate at each checkpoint. A torn final record — the expected
+// wreckage of a crash mid-append — is detected on Open by its short
+// frame or CRC mismatch; the file is truncated back to the last intact
+// record and appends continue from there. Corruption earlier in the
+// file is indistinguishable from a tear and handled the same way; the
+// checkpoint bounds how much history a mid-file flip can shadow.
+//
+// Group commit: appends only buffer; durability comes from Commit. Under
+// SyncAlways, concurrent committers elect a leader that flushes the
+// buffer and issues one fsync covering every record appended so far —
+// sessions that serialized on the server's writer lock batch into one
+// fsync, so commit throughput scales with the batch size instead of
+// disk latency. SyncBatched commits flush to the OS (surviving a
+// process crash) and leave fsync to a background ticker, bounding the
+// power-loss window to MaxDelay. SyncOff never syncs.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"xixa/internal/persist"
+)
+
+var magic = []byte("XIXAWAL1")
+
+const (
+	headerLen = 8 + 8 + 4 // magic, startLSN, CRC
+	frameLen  = 4 + 4     // payloadLen, payload CRC
+	// maxRecordLen bounds a record frame so a corrupted length field
+	// cannot demand an unbounded allocation.
+	maxRecordLen = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// SyncPolicy selects when commits reach stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncAlways makes every Commit wait for an fsync that covers its
+	// LSN, with concurrent committers grouped into one fsync.
+	SyncAlways SyncPolicy = iota
+	// SyncBatched flushes commits to the OS immediately (they survive a
+	// process crash) and fsyncs in the background at most every
+	// MaxDelay (the power-loss window).
+	SyncBatched
+	// SyncOff never fsyncs; the OS flushes when it pleases.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatched:
+		return "batched"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParseSyncPolicy parses the -sync flag spelling of a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batched":
+		return SyncBatched, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown sync policy %q (want always, batched, or off)", s)
+}
+
+// Options tune a log.
+type Options struct {
+	Policy SyncPolicy
+	// MaxDelay is the background fsync period under SyncBatched
+	// (0 = 2ms).
+	MaxDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Log is an append-only record log. It is safe for concurrent use.
+type Log struct {
+	path string
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // wakes group-commit followers
+	f       *os.File
+	w       *bufio.Writer
+	start   uint64 // LSN of the last record truncated away
+	last    uint64 // LSN of the last appended record
+	durable uint64 // LSN covered by the last fsync
+	size    int64  // file size including buffered bytes
+	syncing bool   // a group-commit leader's fsync is in flight
+	fail    error  // sticky: the log is unusable after an append/flush error
+	closed  bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// OpenResult reports what Open found in an existing log.
+type OpenResult struct {
+	// Records are the intact records, in LSN order.
+	Records []Record
+	// Torn reports that a torn or corrupt tail was truncated away.
+	Torn bool
+	// TornLSN is the LSN the first lost record would have had (0 when
+	// not torn).
+	TornLSN uint64
+}
+
+// Open opens the log at path, creating it if absent, and scans every
+// intact record for the caller to replay. A torn final record — or any
+// corruption, which is indistinguishable — truncates the file back to
+// the last intact record; appends continue after it. The returned log
+// is positioned for appending.
+func Open(path string, opts Options) (*Log, *OpenResult, error) {
+	opts = opts.withDefaults()
+	l := &Log{path: path, opts: opts}
+	l.cond = sync.NewCond(&l.mu)
+	res := &OpenResult{}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() < headerLen {
+		// Empty, or shorter than a header: a file this short can hold
+		// no records, so it is provably an aborted creation (a crash
+		// mid-writeHeader), not a log that lost data — start it fresh.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := writeHeader(f, 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := persist.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.size = headerLen
+	} else {
+		start, recs, goodEnd, torn, err := scan(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if torn {
+			if err := f.Truncate(goodEnd); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			res.Torn = true
+			res.TornLSN = start + uint64(len(recs)) + 1
+		}
+		if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.start = start
+		l.last = start + uint64(len(recs))
+		l.durable = l.last
+		l.size = goodEnd
+		res.Records = recs
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	if opts.Policy == SyncBatched {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, res, nil
+}
+
+func writeHeader(f *os.File, startLSN uint64) error {
+	var buf [headerLen]byte
+	copy(buf[:8], magic)
+	binary.LittleEndian.PutUint64(buf[8:16], startLSN)
+	binary.LittleEndian.PutUint32(buf[16:20], crc32.Checksum(buf[:16], crcTable))
+	if _, err := f.Write(buf[:]); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// scan reads the header and every record, stopping at the first torn or
+// corrupt frame. goodEnd is the file offset just past the last intact
+// record.
+func scan(f *os.File) (startLSN uint64, recs []Record, goodEnd int64, torn bool, err error) {
+	if _, err = f.Seek(0, io.SeekStart); err != nil {
+		return
+	}
+	r := bufio.NewReader(f)
+	var head [headerLen]byte
+	if _, err = io.ReadFull(r, head[:]); err != nil {
+		err = fmt.Errorf("wal: reading header: %w", err)
+		return
+	}
+	if string(head[:8]) != string(magic) {
+		err = fmt.Errorf("wal: not a wal file (bad magic %q)", head[:8])
+		return
+	}
+	if crc32.Checksum(head[:16], crcTable) != binary.LittleEndian.Uint32(head[16:20]) {
+		err = fmt.Errorf("wal: header checksum mismatch")
+		return
+	}
+	startLSN = binary.LittleEndian.Uint64(head[8:16])
+	goodEnd = headerLen
+	lsn := startLSN
+	var frame [frameLen]byte
+	var payload []byte
+	for {
+		if _, rerr := io.ReadFull(r, frame[:]); rerr != nil {
+			torn = rerr != io.EOF // a clean EOF at a record boundary is not a tear
+			return
+		}
+		n := binary.LittleEndian.Uint32(frame[:4])
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if n == 0 || n > maxRecordLen {
+			torn = true
+			return
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, rerr := io.ReadFull(r, payload); rerr != nil {
+			torn = true
+			return
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			torn = true
+			return
+		}
+		lsn++
+		rec, derr := decodeRecord(lsn, payload)
+		if derr != nil {
+			// The frame checksum passed but the payload does not parse:
+			// treat it like a tear so recovery keeps everything before it.
+			torn = true
+			return
+		}
+		recs = append(recs, rec)
+		goodEnd += frameLen + int64(n)
+	}
+}
+
+// append frames payload and buffers it, returning its LSN. Durability
+// comes from a later Commit or Sync.
+func (l *Log) append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecordLen {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.fail != nil {
+		return 0, l.fail
+	}
+	var frame [frameLen]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.w.Write(frame[:]); err != nil {
+		l.fail = err
+		return 0, err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.fail = err
+		return 0, err
+	}
+	l.last++
+	l.size += frameLen + int64(len(payload))
+	return l.last, nil
+}
+
+// Commit makes every record up to lsn durable per the log's policy:
+// under SyncAlways it returns only once an fsync covers lsn, with
+// concurrent commits grouped behind one leader's fsync; under
+// SyncBatched and SyncOff it flushes to the OS and returns.
+func (l *Log) Commit(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// A closed or failed log must fail the commit even when lsn is
+	// already durable: the caller's mutation may not have reached the
+	// log at all (its append was rejected), and claiming durability
+	// would be silent data loss.
+	if l.closed {
+		return ErrClosed
+	}
+	if l.fail != nil {
+		return l.fail
+	}
+	if l.opts.Policy != SyncAlways {
+		return l.flushLocked()
+	}
+	for l.durable < lsn {
+		if l.closed {
+			return ErrClosed
+		}
+		if l.fail != nil {
+			return l.fail
+		}
+		if l.syncing {
+			// A leader's fsync is in flight; it may not cover our
+			// records, so re-check after it completes.
+			l.cond.Wait()
+			continue
+		}
+		if err := l.leaderSyncLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leaderSyncLocked flushes the buffer and fsyncs once, covering every
+// record appended before the flush. Before flushing, the leader yields
+// once with the lock released — a gather window that lets committers
+// racing right behind it append their records, so one fsync covers the
+// whole convoy instead of just the leader (measured: ~2x batching
+// without the yield, ~6-8x with it, at 8 writers). The fsync itself
+// also runs unlocked so appenders pile onto the next batch; followers
+// wait on cond.
+func (l *Log) leaderSyncLocked() error {
+	l.syncing = true
+	l.mu.Unlock()
+	runtime.Gosched()
+	l.mu.Lock()
+	if err := l.flushLocked(); err != nil {
+		l.syncing = false
+		l.cond.Broadcast()
+		return err
+	}
+	target := l.last
+	f := l.f
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.fail = err
+	} else if target > l.durable {
+		l.durable = target
+	}
+	l.cond.Broadcast()
+	return err
+}
+
+func (l *Log) flushLocked() error {
+	if l.fail != nil {
+		return l.fail
+	}
+	if err := l.w.Flush(); err != nil {
+		l.fail = err
+		return err
+	}
+	return nil
+}
+
+// Sync forces a flush and fsync regardless of policy — the
+// per-statement sync a log without group commit would pay, and the
+// barrier Truncate and Close use.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	target := l.last
+	if err := l.f.Sync(); err != nil {
+		l.fail = err
+		return err
+	}
+	if target > l.durable {
+		l.durable = target
+	}
+	return nil
+}
+
+// flusher is the SyncBatched background fsync loop.
+func (l *Log) flusher() {
+	defer close(l.flushDone)
+	ticker := time.NewTicker(l.opts.MaxDelay)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-ticker.C:
+			l.mu.Lock()
+			if !l.closed && l.durable < l.last {
+				l.syncLocked() // error is sticky; next Commit surfaces it
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Truncate discards every record through upTo — which must be at
+// least the last appended LSN, i.e. the caller has quiesced appenders
+// — by atomically swapping in a fresh log whose startLSN is upTo.
+// This is the checkpoint's log-reset step: the snapshot stamped upTo
+// now owns all discarded history. An upTo beyond the last appended
+// LSN additionally advances the sequence, so a log recreated after
+// loss can never re-issue LSNs a checkpoint already covers (recovery
+// uses this when the checkpoint outruns the log).
+func (l *Log) Truncate(upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// A group-commit leader may be fsyncing l.f with the lock
+	// released; closing the file under it would fail that fsync and
+	// poison the log with a sticky error. Wait it out.
+	for l.syncing {
+		l.cond.Wait()
+		if l.closed {
+			return ErrClosed
+		}
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if upTo < l.last {
+		return fmt.Errorf("wal: truncate at LSN %d but last appended is %d", upTo, l.last)
+	}
+	tmp := l.path + ".tmp"
+	nf, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := writeHeader(nf, upTo); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// The rename happened: the fresh file IS the log now, so adopt it
+	// before anything else can fail — keeping the old (just-unlinked)
+	// file would silently ack commits into an orphaned inode. If the
+	// directory fsync below fails and power is then lost, the rename
+	// may roll back and the old records reappear; every one of them is
+	// <= the checkpoint's LSN, so replay skips them — still consistent.
+	l.f.Close()
+	l.f = nf
+	l.w = bufio.NewWriter(nf)
+	l.start = upTo
+	l.last = upTo
+	l.durable = upTo
+	l.size = headerLen
+	return persist.SyncDir(filepath.Dir(l.path))
+}
+
+// LastLSN returns the LSN of the most recently appended record.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.last
+}
+
+// StartLSN returns the LSN the log's history begins after: records in
+// the file cover (StartLSN, LastLSN].
+func (l *Log) StartLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.start
+}
+
+// SizeBytes returns the log's size including buffered bytes — the
+// checkpoint trigger's input.
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close flushes, fsyncs, and closes the log. Waiting committers are
+// woken with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	if l.flushStop != nil {
+		close(l.flushStop)
+	}
+	l.mu.Unlock()
+	if l.flushDone != nil {
+		<-l.flushDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Same hazard as Truncate: a group-commit leader may be fsyncing
+	// l.f with the lock released, and closing the file under it would
+	// fail a commit whose records are durable. Wait it out.
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.closed { // a concurrent Close won the race while we waited
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	l.cond.Broadcast()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -148,6 +148,46 @@ func (c *Capture) Decay(factor, floor float64) {
 	c.order = live
 }
 
+// CaptureState is one entry of a capture's persistent form: the raw
+// statement text (re-parsed on Import) and its decayed weight. The
+// normalized key is not stored — it is a function of the parsed
+// statement and is recomputed on restore.
+type CaptureState struct {
+	Raw    string
+	Weight float64
+}
+
+// Export returns the capture's persistent form in first-seen order —
+// the sidecar each checkpoint carries so a restarted daemon's tuner
+// warm-starts from the checkpointed workload instead of relearning it.
+func (c *Capture) Export() []CaptureState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CaptureState, 0, len(c.order))
+	for _, key := range c.order {
+		e := c.entries[key]
+		out = append(out, CaptureState{Raw: e.stmt.Raw, Weight: e.weight})
+	}
+	return out
+}
+
+// Import folds an exported capture back in, re-parsing each raw
+// statement and restoring its weight and first-seen order. Entries
+// that no longer parse (a statement dialect change between runs) are
+// skipped. It returns the number of entries restored.
+func (c *Capture) Import(states []CaptureState) int {
+	restored := 0
+	for _, s := range states {
+		stmt, err := xquery.Parse(s.Raw)
+		if err != nil {
+			continue
+		}
+		c.Observe(stmt, s.Weight)
+		restored++
+	}
+	return restored
+}
+
 // Len returns the number of distinct normalized statements held.
 func (c *Capture) Len() int {
 	c.mu.Lock()

@@ -128,3 +128,52 @@ func TestCaptureMerge(t *testing.T) {
 		t.Fatalf("merged weight = %+v, want freq 10", it)
 	}
 }
+
+func TestCaptureExportImportRoundTrip(t *testing.T) {
+	c := NewCapture(8)
+	c.Observe(xquery.MustParse(spellA), 3)
+	c.Observe(xquery.MustParse(spellB), 2) // same normalized entry
+	c.Observe(xquery.MustParse(`delete from SECURITY where /Security[Symbol="B"]`), 1)
+	c.Decay(0.5, 0.25)
+
+	states := c.Export()
+	if len(states) != 2 {
+		t.Fatalf("exported %d entries, want 2", len(states))
+	}
+	if states[0].Weight != 2.5 || states[1].Weight != 0.5 {
+		t.Fatalf("exported weights %v/%v, want 2.5/0.5 (decayed)", states[0].Weight, states[1].Weight)
+	}
+
+	c2 := NewCapture(8)
+	if restored := c2.Import(states); restored != 2 {
+		t.Fatalf("restored %d entries, want 2", restored)
+	}
+	got := c2.Export()
+	for i := range states {
+		if got[i] != states[i] {
+			t.Fatalf("entry %d = %+v, want %+v (order and weights must survive)", i, got[i], states[i])
+		}
+	}
+	// The restored capture feeds the advisor exactly like the original.
+	w1, w2 := c.Workload(), c2.Workload()
+	if w1.Len() != w2.Len() {
+		t.Fatalf("workload lengths differ: %d vs %d", w1.Len(), w2.Len())
+	}
+	for i := range w1.Items {
+		if w1.Items[i].Freq != w2.Items[i].Freq ||
+			w1.Items[i].Stmt.NormalizedKey() != w2.Items[i].Stmt.NormalizedKey() {
+			t.Fatalf("workload item %d differs after restore", i)
+		}
+	}
+}
+
+func TestCaptureImportSkipsUnparseable(t *testing.T) {
+	c := NewCapture(4)
+	restored := c.Import([]CaptureState{
+		{Raw: "this is not a statement", Weight: 5},
+		{Raw: spellA, Weight: 1},
+	})
+	if restored != 1 || c.Len() != 1 {
+		t.Fatalf("restored=%d len=%d, want 1/1 (unparseable skipped)", restored, c.Len())
+	}
+}
