@@ -6,7 +6,8 @@
 //	experiments [-scale N] [-run name[,name...]]
 //
 // Names: table1, fig2, fig3, table3, table4, fig4, fig5,
-// ablation-calls, ablation-beta, updates, update-stream, serve-tune, crash-recover, xmark, all (default).
+// ablation-calls, ablation-beta, updates, update-stream, serve-tune,
+// multi-writer, crash-recover, xmark, all (default).
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "TPoX data scale factor (1 = 1000 securities, 2000 orders, 500 customers)")
-	run := flag.String("run", "all", "comma-separated experiment names (table1,fig2,fig3,table3,table4,fig4,fig5,ablation-calls,ablation-beta,updates,update-stream,serve-tune,crash-recover,xmark,all)")
+	run := flag.String("run", "all", "comma-separated experiment names (table1,fig2,fig3,table3,table4,fig4,fig5,ablation-calls,ablation-beta,updates,update-stream,serve-tune,multi-writer,crash-recover,xmark,all)")
 	parallelism := flag.Int("parallelism", 0, "advisor fan-out width (0 = GOMAXPROCS, 1 = the paper's serial pipeline)")
 	flag.Parse()
 
@@ -70,6 +71,10 @@ func main() {
 		}},
 		{"serve-tune", func() error {
 			_, err := experiments.ServeTune(out, *scale, 8, 5)
+			return err
+		}},
+		{"multi-writer", func() error {
+			_, err := experiments.MultiWriter(out, *scale, 6, 5)
 			return err
 		}},
 		{"crash-recover", func() error {

@@ -31,7 +31,7 @@
 //
 //	\indexes            list the materialized catalog with sizes
 //	\tune               run one advisor round on the captured workload
-//	\stats              session + server counters
+//	\stats              session, server, and transaction counters
 //	\explain <stmt>     show the plan without executing
 //	\quit               close the connection
 //
@@ -252,6 +252,9 @@ func handleLine(srv *server.Server, sess *server.Session, out *bufio.Writer, lin
 		st, executed, errs := sess.Stats()
 		fmt.Fprintf(out, "| session: %d statements, %d errors, %.0f work units\n", executed, errs, st.WorkUnits())
 		fmt.Fprintf(out, "| server: %s\n", srv)
+		txn := srv.TxnStats()
+		fmt.Fprintf(out, "| txns: %d committed, %d aborted, %d write-write conflicts\n",
+			txn.Commits, txn.Aborts, txn.Conflicts)
 		fmt.Fprintln(out, "OK")
 	case strings.HasPrefix(line, `\explain `):
 		plan, err := sess.Explain(strings.TrimPrefix(line, `\explain `))

@@ -64,7 +64,11 @@
 // internal/server closes the paper's loop: many concurrent sessions
 // execute against one live engine (queries lock-free against mutators
 // — copy-on-write documents and catalog snapshots — with bounded
-// admission), executed statements land in a decaying workload capture
+// admission; mutations are snapshot-isolated MVCC transactions with
+// first-writer-wins conflict detection, so writers on disjoint tables
+// commit in parallel and Session.Begin exposes explicit multi-
+// statement transactions), executed statements land in a decaying
+// workload capture
 // ring keyed by normalized statement, and a tuning loop periodically
 // runs the advisor on the capture, materializing recommendations with
 // online index builds (xindex.BuildOnline: snapshot, build aside,
@@ -79,8 +83,11 @@
 // (server.Recover, xixad -wal-dir): every table's change feed appends
 // its logical mutations — full-document inserts, removes, and the
 // tuning loop's index create/drop — as CRC-checked, length-prefixed
-// records, and a mutating statement returns only after wal.Log.Commit
-// makes its LSN durable. Commits group: concurrent writers batch into
+// records — multi-statement transactions framed by txn-begin/commit
+// records so recovery applies committed transactions atomically and
+// discards unterminated frames — and a mutating statement returns
+// only after wal.Log.Commit makes its LSN durable. Commits group:
+// concurrent writers batch into
 // one fsync (SyncAlways), or flush to the OS with a background fsync
 // bounding the power-loss window (SyncBatched), so commit throughput
 // scales with batch size instead of disk latency. Checkpoints — LSN-

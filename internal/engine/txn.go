@@ -1,0 +1,341 @@
+// Transactional execution: a Txn runs statements against a pinned
+// database snapshot plus a private write overlay, buffering mutations
+// as storage.TxOp records instead of applying them. Commit hands the
+// buffer to storage.CommitTx, which validates first-writer-wins and
+// publishes the whole write set under one commit stamp; index upkeep
+// for engine-maintained indexes follows the successful commit
+// (self-maintained online indexes update themselves from the change
+// feed when the write set applies).
+//
+// Reads inside a transaction are scan-based: the snapshot's table
+// views resolve versions by commit stamp, while live indexes track the
+// live table — entries for versions committed after the snapshot may
+// be present, and entries this snapshot still needs may already be
+// gone. Rather than version the index entries, transactional matching
+// scans the snapshot. The serving read path (plain queries) is
+// unaffected: it executes against live state with index plans exactly
+// as before.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xixa/internal/storage"
+	"xixa/internal/xindex"
+	"xixa/internal/xmltree"
+	"xixa/internal/xpath"
+	"xixa/internal/xquery"
+)
+
+// ErrTxnDone reports an operation on a committed or rolled-back
+// transaction.
+var ErrTxnDone = errors.New("engine: transaction already finished")
+
+// txWrite is one buffered mutation plus the pre-image its
+// engine-maintained index upkeep needs at commit.
+type txWrite struct {
+	op  storage.TxOp
+	pre *xmltree.Document // version current when the write was buffered
+}
+
+// overlay is a transaction's private view of one table's uncommitted
+// writes, layered over the snapshot for read-your-own-writes.
+type overlay struct {
+	inserted []*xmltree.Document         // this txn's new docs (provisional negative IDs)
+	deleted  map[int64]bool              // committed IDs this txn deleted
+	replaced map[int64]*xmltree.Document // committed IDs this txn replaced -> post-image
+}
+
+// Txn is one transaction: a snapshot at a fixed commit stamp, a pinned
+// catalog view, and buffered writes. It is not safe for concurrent use
+// by multiple goroutines (one client, one transaction).
+type Txn struct {
+	eng      *Engine
+	snap     *storage.Snapshot
+	view     View
+	writes   []txWrite
+	overlays map[string]*overlay
+	provSeq  int64
+	done     bool
+}
+
+// Begin opens a transaction: the database snapshot and the catalog
+// configuration are pinned here and stay fixed until Commit or
+// Rollback.
+func (e *Engine) Begin() *Txn {
+	return &Txn{
+		eng:      e,
+		snap:     e.db.PinSnapshot(),
+		view:     e.cat.View(),
+		overlays: make(map[string]*overlay),
+	}
+}
+
+// Snapshot returns the transaction's pinned snapshot.
+func (tx *Txn) Snapshot() *storage.Snapshot { return tx.snap }
+
+func (tx *Txn) overlay(table string) *overlay {
+	ov, ok := tx.overlays[table]
+	if !ok {
+		ov = &overlay{deleted: make(map[int64]bool), replaced: make(map[int64]*xmltree.Document)}
+		tx.overlays[table] = ov
+	}
+	return ov
+}
+
+// Execute runs one statement inside the transaction: queries and match
+// phases read the snapshot through the write overlay; mutations buffer
+// into the write set. Nothing touches shared state until Commit.
+func (tx *Txn) Execute(stmt *xquery.Statement) ([]xindex.Ref, Stats, error) {
+	if tx.done {
+		return nil, Stats{}, ErrTxnDone
+	}
+	if tx.eng.recorder != nil {
+		tx.eng.recorder.Record(stmt)
+	}
+	start := time.Now()
+	var refs []xindex.Ref
+	var st Stats
+	var err error
+	switch stmt.Kind {
+	case xquery.Query:
+		refs, err = tx.runQuery(stmt, &st)
+	case xquery.Insert:
+		err = tx.runInsert(stmt, &st)
+	case xquery.Delete:
+		err = tx.runDelete(stmt, &st)
+	case xquery.Update:
+		err = tx.runUpdate(stmt, &st)
+	default:
+		err = fmt.Errorf("engine: unsupported statement kind %v", stmt.Kind)
+	}
+	st.Elapsed = time.Since(start)
+	return refs, st, err
+}
+
+// matchDocs finds the documents satisfying the statement's normalized
+// path in the transaction's view of the table: snapshot versions with
+// this transaction's deletes hidden, replacements substituted, and
+// uncommitted inserts appended.
+func (tx *Txn) matchDocs(stmt *xquery.Statement, st *Stats) ([]*xmltree.Document, error) {
+	tv, err := tx.snap.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	norm := stmt.NormalizedPath()
+	ov := tx.overlays[stmt.Table]
+	var out []*xmltree.Document
+	tv.Scan(func(d *xmltree.Document) bool {
+		if ov != nil {
+			if ov.deleted[d.DocID] {
+				return true
+			}
+			if r, ok := ov.replaced[d.DocID]; ok {
+				d = r
+			}
+		}
+		st.NodesScanned += int64(d.Len())
+		if len(xpath.Eval(d, norm)) > 0 {
+			out = append(out, d)
+		}
+		return true
+	})
+	if ov != nil {
+		for _, d := range ov.inserted {
+			st.NodesScanned += int64(d.Len())
+			if len(xpath.Eval(d, norm)) > 0 {
+				out = append(out, d)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (tx *Txn) runQuery(stmt *xquery.Statement, st *Stats) ([]xindex.Ref, error) {
+	docs, err := tx.matchDocs(stmt, st)
+	if err != nil {
+		return nil, err
+	}
+	norm := stmt.NormalizedPath()
+	var refs []xindex.Ref
+	for _, doc := range docs {
+		for _, id := range xpath.Eval(doc, norm) {
+			refs = append(refs, xindex.Ref{Doc: doc.DocID, Node: id})
+			st.ResultCount++
+		}
+	}
+	return refs, nil
+}
+
+func (tx *Txn) runInsert(stmt *xquery.Statement, st *Stats) error {
+	if stmt.Doc == nil {
+		return fmt.Errorf("engine: insert without document")
+	}
+	if _, err := tx.eng.db.Table(stmt.Table); err != nil {
+		return err
+	}
+	doc := cloneDoc(stmt.Doc)
+	tx.provSeq--
+	doc.DocID = tx.provSeq // provisional; the real ID arrives at commit
+	ov := tx.overlay(stmt.Table)
+	ov.inserted = append(ov.inserted, doc)
+	tx.writes = append(tx.writes, txWrite{op: storage.TxOp{
+		Table: stmt.Table, Kind: storage.TxInsert, DocID: doc.DocID, Doc: doc,
+	}})
+	st.DocsModified++
+	return nil
+}
+
+// dropProvisional unbuffers an uncommitted insert this transaction is
+// deleting: the pending TxInsert write and the overlay entry both go.
+func (tx *Txn) dropProvisional(table string, provID int64) {
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		if w.op.Kind == storage.TxInsert && w.op.Table == table && w.op.DocID == provID {
+			tx.writes = append(tx.writes[:i], tx.writes[i+1:]...)
+			break
+		}
+	}
+	ov := tx.overlay(table)
+	for i, d := range ov.inserted {
+		if d.DocID == provID {
+			ov.inserted = append(ov.inserted[:i], ov.inserted[i+1:]...)
+			break
+		}
+	}
+}
+
+func (tx *Txn) runDelete(stmt *xquery.Statement, st *Stats) error {
+	docs, err := tx.matchDocs(stmt, st)
+	if err != nil {
+		return err
+	}
+	ov := tx.overlay(stmt.Table)
+	for _, d := range docs {
+		if d.DocID < 0 {
+			tx.dropProvisional(stmt.Table, d.DocID)
+		} else {
+			ov.deleted[d.DocID] = true
+			tx.writes = append(tx.writes, txWrite{
+				op:  storage.TxOp{Table: stmt.Table, Kind: storage.TxDelete, DocID: d.DocID},
+				pre: d,
+			})
+		}
+		st.DocsModified++
+	}
+	return nil
+}
+
+func (tx *Txn) runUpdate(stmt *xquery.Statement, st *Stats) error {
+	docs, err := tx.matchDocs(stmt, st)
+	if err != nil {
+		return err
+	}
+	ov := tx.overlay(stmt.Table)
+	for _, d := range docs {
+		targets := xpath.Eval(d, xpath.Concat(stmt.Match.StripPreds(), stmt.SetPath))
+		if len(targets) == 0 {
+			continue
+		}
+		newDoc := cloneDoc(d)
+		for _, id := range targets {
+			setNodeText(newDoc, id, stmt.SetValue)
+		}
+		newDoc.DocID = d.DocID
+		if d.DocID < 0 {
+			// Updating our own uncommitted insert: rewrite it in place
+			// in the buffer; the commit logs only the final image.
+			for i := range tx.writes {
+				w := &tx.writes[i]
+				if w.op.Kind == storage.TxInsert && w.op.Table == stmt.Table && w.op.DocID == d.DocID {
+					w.op.Doc = newDoc
+					break
+				}
+			}
+			for i, od := range ov.inserted {
+				if od.DocID == d.DocID {
+					ov.inserted[i] = newDoc
+					break
+				}
+			}
+		} else {
+			ov.replaced[d.DocID] = newDoc
+			tx.writes = append(tx.writes, txWrite{
+				op:  storage.TxOp{Table: stmt.Table, Kind: storage.TxReplace, DocID: d.DocID, Doc: newDoc},
+				pre: d,
+			})
+		}
+		st.DocsModified++
+	}
+	return nil
+}
+
+// CommitInfo reports a successful commit.
+type CommitInfo struct {
+	// Stamp is the commit stamp the write set published under
+	// (0 for an empty transaction).
+	Stamp uint64
+	// LogLSN is the last write-ahead log LSN of the transaction's
+	// records (0 without a log or for an empty transaction); the
+	// caller's group-commit fsync targets it.
+	LogLSN uint64
+	// Maintenance counts the index upkeep applied after the commit.
+	Maintenance Stats
+}
+
+// Commit publishes the transaction's write set atomically via
+// storage.CommitTx. prepare, when non-nil, is the write-ahead log hook
+// threaded through (see CommitTx). On storage.ErrConflict nothing was
+// applied and the caller may retry on a fresh transaction. Either way
+// the snapshot is released and the transaction is finished.
+func (tx *Txn) Commit(prepare func([]storage.TxOp) (func() (uint64, error), error)) (CommitInfo, error) {
+	if tx.done {
+		return CommitInfo{}, ErrTxnDone
+	}
+	tx.done = true
+	defer tx.snap.Release()
+	if len(tx.writes) == 0 {
+		return CommitInfo{}, nil
+	}
+	ops := make([]storage.TxOp, len(tx.writes))
+	for i := range tx.writes {
+		ops[i] = tx.writes[i].op
+	}
+	stamp, logLSN, err := tx.eng.db.CommitTx(tx.snap.LSN(), ops, prepare)
+	if err != nil {
+		return CommitInfo{}, err
+	}
+	info := CommitInfo{Stamp: stamp, LogLSN: logLSN}
+	// Engine-maintained index upkeep mirrors the write set in order.
+	// Commits racing here touch disjoint documents (first-writer-wins
+	// guarantees it), and the index structures lock internally, so the
+	// entries commute.
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		switch w.op.Kind {
+		case storage.TxInsert:
+			doc := w.op.Doc
+			maintain(tx.view, w.op.Table, &info.Maintenance, func(idx *xindex.Index) int { return idx.OnInsert(doc) })
+		case storage.TxDelete:
+			pre := w.pre
+			maintain(tx.view, w.op.Table, &info.Maintenance, func(idx *xindex.Index) int { return idx.OnDelete(pre) })
+		case storage.TxReplace:
+			pre, post := w.pre, w.op.Doc
+			maintain(tx.view, w.op.Table, &info.Maintenance, func(idx *xindex.Index) int { return idx.OnDelete(pre) })
+			maintain(tx.view, w.op.Table, &info.Maintenance, func(idx *xindex.Index) int { return idx.OnInsert(post) })
+		}
+	}
+	return info, nil
+}
+
+// Rollback discards the write set and releases the snapshot. Rolling
+// back a finished transaction is a no-op.
+func (tx *Txn) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.snap.Release()
+}

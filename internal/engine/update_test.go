@@ -183,9 +183,10 @@ func TestStaleStaticStatsDiverge(t *testing.T) {
 // UPDATE statements joined the writer mix when the engine's update
 // path became copy-on-write (storage.Table.Replace): readers evaluate
 // immutable pre-images, so value rewrites are safe against concurrent
-// statement execution. (The writers still serialize among themselves,
-// as the serving layer's writer lock does: two engine UPDATEs racing
-// each other could interleave their index remove/re-add cycles.)
+// statement execution. (The writers still serialize among themselves
+// here, as the serving layer's transaction commit protocol does for
+// writes to the same document: two engine UPDATEs racing each other
+// could interleave their index remove/re-add cycles.)
 func TestConcurrentQueriesAndMutations(t *testing.T) {
 	db, liveOpt, eng, _ := liveFixture(t, 200)
 	tbl, err := db.Table("SECURITY")

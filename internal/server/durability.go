@@ -202,6 +202,15 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 // — the atomicity lives in the record itself, so no tear can leave
 // the remove half applied without its insert (a state that never
 // existed in memory).
+//
+// Transaction framing: the document records between a RecTxnBegin and
+// its matching RecTxnCommit buffer and apply only when the commit
+// record arrives, all at once. A begin with no commit by the end of
+// the log is a transaction whose records were appended but whose
+// publish never became durable — the crash hit inside AppendTxn's
+// batch or before its fsync — and is discarded whole. AppendTxn writes
+// a transaction's records contiguously, so frames never interleave;
+// nested or mismatched framing is corruption and fails recovery.
 func replayRecords(db *storage.Database, defs []xindex.Definition, recs []wal.Record, afterLSN uint64) ([]xindex.Definition, int, error) {
 	table := func(name string) (*storage.Table, error) {
 		if tbl, err := db.Table(name); err == nil {
@@ -210,32 +219,28 @@ func replayRecords(db *storage.Database, defs []xindex.Definition, recs []wal.Re
 		return db.CreateTable(name)
 	}
 	applied := 0
-	for i := range recs {
-		rec := &recs[i]
-		if rec.LSN <= afterLSN {
-			continue
-		}
+	applyOp := func(rec *wal.Record) error {
 		switch rec.Kind {
 		case wal.RecDocInsert:
 			tbl, err := table(rec.Table)
 			if err != nil {
-				return defs, applied, err
+				return err
 			}
 			if err := tbl.InsertAt(rec.Doc, rec.DocID); err != nil {
-				return defs, applied, fmt.Errorf("server: replay LSN %d: %w", rec.LSN, err)
+				return fmt.Errorf("server: replay LSN %d: %w", rec.LSN, err)
 			}
 		case wal.RecDocReplace:
 			tbl, err := table(rec.Table)
 			if err != nil {
-				return defs, applied, err
+				return err
 			}
 			if !tbl.Replace(rec.DocID, rec.Doc) {
-				return defs, applied, fmt.Errorf("server: replay LSN %d: replace of missing doc %d in %s", rec.LSN, rec.DocID, rec.Table)
+				return fmt.Errorf("server: replay LSN %d: replace of missing doc %d in %s", rec.LSN, rec.DocID, rec.Table)
 			}
 		case wal.RecDocRemove:
 			tbl, err := table(rec.Table)
 			if err != nil {
-				return defs, applied, err
+				return err
 			}
 			tbl.Delete(rec.DocID)
 		case wal.RecIndexCreate:
@@ -243,10 +248,45 @@ func replayRecords(db *storage.Database, defs []xindex.Definition, recs []wal.Re
 		case wal.RecIndexDrop:
 			defs = removeDef(defs, rec.Def)
 		default:
-			return defs, applied, fmt.Errorf("server: replay LSN %d: unknown record kind %v", rec.LSN, rec.Kind)
+			return fmt.Errorf("server: replay LSN %d: unknown record kind %v", rec.LSN, rec.Kind)
 		}
 		applied++
+		return nil
 	}
+	var pending []*wal.Record // ops of the open transaction frame
+	inTxn := false
+	var txnID uint64
+	for i := range recs {
+		rec := &recs[i]
+		if rec.LSN <= afterLSN {
+			continue
+		}
+		switch rec.Kind {
+		case wal.RecTxnBegin:
+			if inTxn {
+				return defs, applied, fmt.Errorf("server: replay LSN %d: txn-begin %d inside open txn %d", rec.LSN, rec.TxnID, txnID)
+			}
+			inTxn, txnID, pending = true, rec.TxnID, pending[:0]
+		case wal.RecTxnCommit:
+			if !inTxn || rec.TxnID != txnID {
+				return defs, applied, fmt.Errorf("server: replay LSN %d: txn-commit %d without matching begin", rec.LSN, rec.TxnID)
+			}
+			for _, op := range pending {
+				if err := applyOp(op); err != nil {
+					return defs, applied, err
+				}
+			}
+			inTxn, pending = false, pending[:0]
+		default:
+			if inTxn {
+				pending = append(pending, rec)
+			} else if err := applyOp(rec); err != nil {
+				return defs, applied, err
+			}
+		}
+	}
+	// An unterminated frame at the tail: the transaction never became
+	// durable as a unit; none of its effects may survive.
 	return defs, applied, nil
 }
 
@@ -272,9 +312,12 @@ func removeDef(defs []xindex.Definition, def xindex.Definition) []xindex.Definit
 
 // attachWAL wires the log under the server: every table's change feed
 // gains a sink that appends the mutation to the log (buffered; the
-// statement's Commit after the writer lock releases makes it durable),
-// so the WAL sees exactly the logical events the statistics keeper and
-// online indexes see.
+// statement's group-commit fsync makes it durable), so the WAL sees
+// exactly the logical events the statistics keeper and online indexes
+// see. Changes published by transaction commits (Change.Txn) are
+// skipped: the commit already appended them itself, framed, inside the
+// publish lock (txnPrepare), and re-logging them here would double
+// every transactional write on replay.
 func (s *Server) attachWAL(l *wal.Log, dir string) {
 	s.wal = l
 	s.walDir = dir
@@ -285,6 +328,9 @@ func (s *Server) attachWAL(l *wal.Log, dir string) {
 		}
 		t := tbl
 		id := t.Subscribe(func(c storage.Change) {
+			if c.Txn {
+				return
+			}
 			// Append errors are sticky inside the log; the committing
 			// statement surfaces them. A copy-on-write replacement
 			// arrives as a Replaced remove+insert pair under one table
@@ -311,8 +357,8 @@ func (s *Server) WAL() *wal.Log { return s.wal }
 // replay time is bounded by the traffic since the last checkpoint, not
 // since process start. It serializes with the tuning loop (index
 // lifecycle changes land entirely before or after the checkpoint) and
-// holds the writer lock while the snapshot streams out, so mutating
-// statements pause; queries proceed.
+// holds the commit gate exclusively while the snapshot streams out, so
+// transaction commits pause; queries and statement execution proceed.
 func (s *Server) Checkpoint() error {
 	if s.wal == nil {
 		return ErrNoWAL
@@ -325,9 +371,9 @@ func (s *Server) Checkpoint() error {
 // checkpointLocked is Checkpoint under an already-held loopMu (the
 // autonomous loop checkpoints from its own tick).
 func (s *Server) checkpointLocked() error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	// Both locks held: no doc mutations (writeMu) and no index
+	s.commitGate.Lock()
+	defer s.commitGate.Unlock()
+	// Both held: no transaction can publish (commitGate) and no index
 	// lifecycle changes (loopMu) can append, so LastLSN is exactly the
 	// state the snapshot captures.
 	lsn := s.wal.LastLSN()

@@ -14,8 +14,18 @@
 //     through immutable snapshots (engine.View), documents are
 //     immutable (updates are copy-on-write storage.Table.Replace), and
 //     statistics snapshots publish through atomic pointers.
-//   - Mutating statements serialize on a single writer lock among
-//     themselves, but proceed concurrently with queries.
+//   - Mutating statements run as snapshot-isolated transactions
+//     (engine.Txn over storage's MVCC version chains): each executes
+//     against a pinned snapshot, buffers its writes, and commits with
+//     first-writer-wins validation, so writers on disjoint documents
+//     proceed in parallel — there is no global writer lock. A conflict
+//     aborts the transaction cleanly and the statement retries on a
+//     fresh snapshot (txn.go); both proceed concurrently with queries.
+//   - Checkpoints and snapshot saves quiesce commits through commitGate
+//     (a writer-preference RWMutex): every commit holds the read side,
+//     so the exclusive side observes a point-in-time database with no
+//     transaction partially published and no WAL record past the
+//     checkpoint LSN that the checkpoint already covers.
 //   - Admission control bounds the statements in the system: at most
 //     MaxConcurrent execute while QueueDepth more wait; past that,
 //     Execute fails fast with ErrOverloaded instead of building an
@@ -200,10 +210,20 @@ type Server struct {
 	walDir  string
 	walSubs []walSub
 
-	admit   chan struct{} // bounds statements in the system
-	slots   chan struct{} // bounds statements executing
-	writeMu sync.Mutex    // serializes mutating statements
-	flight  gate          // in-flight barrier for deferred drops
+	admit  chan struct{} // bounds statements in the system
+	slots  chan struct{} // bounds statements executing
+	flight gate          // in-flight barrier for deferred drops
+
+	// commitGate quiesces transaction commits: every commit holds the
+	// read side, checkpoint/snapshot hold the write side to observe a
+	// stable point-in-time image. Commits never block each other here.
+	commitGate sync.RWMutex
+
+	// Transaction counters, exposed through TxnStats.
+	txnSeq    atomic.Uint64 // WAL framing IDs for multi-op transactions
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	conflicts atomic.Uint64 // first-writer-wins losers (each retry counts)
 
 	sessMu   sync.Mutex
 	sessions int
@@ -330,8 +350,10 @@ func (sess *Session) Execute(raw string) (*Result, error) {
 // ExecuteStmt executes a parsed statement under admission control: it
 // fails fast with ErrOverloaded when the bounded work queue is full,
 // otherwise waits for an execution slot. Queries run concurrently;
-// mutating statements additionally serialize on the writer lock. Every
-// successful execution is sampled into the workload capture ring.
+// mutating statements run as auto-commit MVCC transactions (retried
+// transparently on write-write conflict), so writers on disjoint
+// documents commit in parallel. Every successful execution is sampled
+// into the workload capture ring.
 func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 	s := sess.srv
 	if s.closed.Load() {
@@ -354,24 +376,14 @@ func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 	var st engine.Stats
 	var err error
 	if stmt.Kind != xquery.Query {
-		// Mutations serialize on the writer lock, but the durability
-		// wait happens after it is released: while this session waits
-		// for the group fsync, the next writer already executes and
-		// appends, so one fsync covers the whole batch (group commit)
-		// and commit throughput scales with batch size instead of disk
-		// latency.
-		s.writeMu.Lock()
-		refs, st, err = s.eng.Execute(stmt)
-		var lsn uint64
-		if err == nil && s.wal != nil {
-			lsn = s.wal.LastLSN()
-		}
-		s.writeMu.Unlock()
-		if err == nil && s.wal != nil {
-			if cerr := s.wal.Commit(lsn); cerr != nil {
-				err = fmt.Errorf("server: wal commit: %w", cerr)
-			}
-		}
+		// Mutations run as single-statement transactions: snapshot,
+		// buffered writes, first-writer-wins commit, automatic retry on
+		// conflict (txn.go). The durability wait happens after the
+		// commit publishes: while this session waits for the group
+		// fsync, other writers commit and append behind it, so one
+		// fsync covers the whole batch (group commit) and commit
+		// throughput scales with batch size instead of disk latency.
+		refs, st, err = s.executeTxn(stmt)
 	} else {
 		refs, st, err = s.eng.Execute(stmt)
 	}

@@ -287,9 +287,9 @@ func TestServeWhileTuneE2E(t *testing.T) {
 }
 
 // TestAdmissionControl fills the bounded work queue deterministically
-// (the writer lock is held, so DML statements pile up) and asserts the
-// next statement is rejected with ErrOverloaded instead of queueing
-// unboundedly.
+// (the commit gate is held exclusively, so DML statements pile up at
+// commit) and asserts the next statement is rejected with
+// ErrOverloaded instead of queueing unboundedly.
 func TestAdmissionControl(t *testing.T) {
 	srv := New(fixtureDB(20), Config{MaxConcurrent: 2, QueueDepth: 2})
 	defer srv.Close()
@@ -299,7 +299,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	defer sess.Close()
 
-	srv.writeMu.Lock()
+	srv.commitGate.Lock()
 	var wg sync.WaitGroup
 	const inFlight = 4 // MaxConcurrent + QueueDepth
 	for i := 0; i < inFlight; i++ {
@@ -317,16 +317,16 @@ func TestAdmissionControl(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for len(srv.admit) < inFlight {
 		if time.Now().After(deadline) {
-			srv.writeMu.Unlock()
+			srv.commitGate.Unlock()
 			t.Fatalf("work queue never filled: %d/%d", len(srv.admit), inFlight)
 		}
 		time.Sleep(time.Millisecond)
 	}
 	if _, err := sess.Execute(pointQuery(1)); err != ErrOverloaded {
-		srv.writeMu.Unlock()
+		srv.commitGate.Unlock()
 		t.Fatalf("overloaded server returned %v, want ErrOverloaded", err)
 	}
-	srv.writeMu.Unlock()
+	srv.commitGate.Unlock()
 	wg.Wait()
 
 	// Load drained: statements flow again.

@@ -31,11 +31,11 @@ func OpenSnapshot(path string, cfg Config) (*Server, error) {
 }
 
 // SaveSnapshot persists the database and the materialized index
-// catalog (definitions only — contents rebuild on load). The writer
-// lock is held for the duration, so mutating statements pause while
-// the snapshot streams out; queries proceed.
+// catalog (definitions only — contents rebuild on load). The commit
+// gate is held exclusively for the duration, so transaction commits
+// pause while the snapshot streams out; queries proceed.
 func (s *Server) SaveSnapshot(path string) error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
+	s.commitGate.Lock()
+	defer s.commitGate.Unlock()
 	return persist.SaveFile(path, s.db, s.cat.Definitions())
 }

@@ -148,6 +148,13 @@ func (s *Server) tuneOnceLocked() (*TuneReport, error) {
 
 	// Catalog changes are logged like any other mutation: a crash after
 	// this round recovers the same index configuration the tuner left.
+	// Ordering against transaction commits is version-safe without any
+	// extra locking: an index-create record only ever replays onto the
+	// committed document state the preceding WAL records rebuilt, and
+	// recovery rebuilds the index through the online build path — so a
+	// create interleaved between two transactions' frames indexes
+	// exactly the first's effects, same as the live BuildOnline did
+	// (its SubscribeScan cut never splits a commit's per-table batch).
 	if s.wal != nil && len(built)+len(dropped) > 0 {
 		var lsn uint64
 		for _, def := range built {

@@ -1,0 +1,241 @@
+package server
+
+// Transaction management: every mutating statement runs as a
+// snapshot-isolated transaction (engine.Txn over the storage layer's
+// MVCC version chains), and sessions can open explicit multi-statement
+// transactions with Begin. Commits validate first-writer-wins; the
+// losing transaction aborts without side effects and — for the
+// single-statement auto-commit path — retries on a fresh snapshot.
+//
+// Durability composes with MVCC here: commitTxn threads txnPrepare
+// into engine.Txn.Commit as the storage layer's prepare hook. The hook
+// encodes the write set into WAL payloads outside the publish lock
+// (document encoding is the expensive part), and the returned append
+// closure runs inside it, so the log's record order is exactly the
+// commit-stamp order — a serial replay of the log reproduces the
+// concurrent execution bit for bit. Multi-operation transactions are
+// framed with txn-begin/txn-commit records (wal.AppendTxn keeps the
+// batch contiguous); recovery applies a frame atomically and discards
+// unterminated frames. Single-operation transactions skip the framing:
+// a bare document record is self-framing, and the WAL's CRC tail-scan
+// already drops a torn final record.
+
+import (
+	"errors"
+	"fmt"
+
+	"xixa/internal/engine"
+	"xixa/internal/storage"
+	"xixa/internal/wal"
+	"xixa/internal/xindex"
+	"xixa/internal/xquery"
+)
+
+// maxConflictRetries bounds automatic first-writer-wins retries of a
+// single-statement transaction before the conflict surfaces to the
+// client.
+const maxConflictRetries = 8
+
+// ErrTxnFinished reports Execute/Commit on an already-finished
+// explicit transaction.
+var ErrTxnFinished = errors.New("server: transaction already finished")
+
+// TxnStats are the server-lifetime transaction counters.
+type TxnStats struct {
+	// Commits counts successfully committed mutation transactions.
+	Commits uint64
+	// Aborts counts transactions that finished without committing:
+	// execution errors, commit failures, and explicit rollbacks.
+	Aborts uint64
+	// Conflicts counts first-writer-wins validation failures; each
+	// automatic retry that loses again counts separately.
+	Conflicts uint64
+}
+
+// TxnStats returns the server's transaction counters.
+func (s *Server) TxnStats() TxnStats {
+	return TxnStats{
+		Commits:   s.commits.Load(),
+		Aborts:    s.aborts.Load(),
+		Conflicts: s.conflicts.Load(),
+	}
+}
+
+// encodeTxnOp builds the WAL payload for one buffered write.
+func encodeTxnOp(op storage.TxOp) ([]byte, error) {
+	switch op.Kind {
+	case storage.TxInsert:
+		return wal.EncodeDocInsert(op.Table, op.Doc)
+	case storage.TxReplace:
+		return wal.EncodeDocReplace(op.Table, op.Doc)
+	case storage.TxDelete:
+		return wal.EncodeDocRemove(op.Table, op.DocID), nil
+	}
+	return nil, fmt.Errorf("server: unknown tx op kind %d", op.Kind)
+}
+
+// txnPrepare is the storage prepare hook: called after commit
+// validation with document IDs assigned, before the write set
+// publishes. Encoding happens here, outside the publish lock; the
+// returned closure appends the finished batch inside it.
+func (s *Server) txnPrepare(ops []storage.TxOp) (func() (uint64, error), error) {
+	payloads := make([][]byte, 0, len(ops)+2)
+	if len(ops) > 1 {
+		id := s.txnSeq.Add(1)
+		payloads = append(payloads, wal.EncodeTxnBegin(id))
+		for _, op := range ops {
+			p, err := encodeTxnOp(op)
+			if err != nil {
+				return nil, err
+			}
+			payloads = append(payloads, p)
+		}
+		payloads = append(payloads, wal.EncodeTxnCommit(id))
+	} else {
+		p, err := encodeTxnOp(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		payloads = append(payloads, p)
+	}
+	return func() (uint64, error) { return s.wal.AppendTxn(payloads) }, nil
+}
+
+// commitTxn commits an engine transaction under the commit gate and,
+// when durable, waits out the group fsync. It maintains the
+// transaction counters; callers only add retry logic.
+func (s *Server) commitTxn(tx *engine.Txn) (engine.CommitInfo, error) {
+	var prep func([]storage.TxOp) (func() (uint64, error), error)
+	if s.wal != nil {
+		prep = s.txnPrepare
+	}
+	s.commitGate.RLock()
+	info, err := tx.Commit(prep)
+	s.commitGate.RUnlock()
+	if err != nil {
+		s.aborts.Add(1)
+		if errors.Is(err, storage.ErrConflict) {
+			s.conflicts.Add(1)
+		}
+		return info, err
+	}
+	s.commits.Add(1)
+	// The fsync wait happens outside the gate: writers behind this one
+	// append their records meanwhile and ride the same group commit.
+	if s.wal != nil && info.LogLSN > 0 {
+		if cerr := s.wal.Commit(info.LogLSN); cerr != nil {
+			return info, fmt.Errorf("server: wal commit: %w", cerr)
+		}
+	}
+	return info, nil
+}
+
+// executeTxn runs one mutating statement as an auto-commit
+// transaction, retrying on first-writer-wins conflicts with a fresh
+// snapshot each time.
+func (s *Server) executeTxn(stmt *xquery.Statement) ([]xindex.Ref, engine.Stats, error) {
+	for attempt := 0; ; attempt++ {
+		tx := s.eng.Begin()
+		refs, st, err := tx.Execute(stmt)
+		if err != nil {
+			tx.Rollback()
+			s.aborts.Add(1)
+			return nil, st, err
+		}
+		info, cerr := s.commitTxn(tx)
+		if cerr == nil {
+			st.Add(engine.Stats{IndexEntriesTouched: info.Maintenance.IndexEntriesTouched})
+			return refs, st, nil
+		}
+		if errors.Is(cerr, storage.ErrConflict) && attempt < maxConflictRetries {
+			continue
+		}
+		return nil, st, cerr
+	}
+}
+
+// Txn is an explicit multi-statement transaction opened by
+// Session.Begin: every statement sees the snapshot taken at Begin plus
+// this transaction's own writes, and nothing is visible to others
+// until Commit. Unlike the auto-commit path, a first-writer-wins
+// conflict at Commit is returned to the client (storage.ErrConflict)
+// instead of retried — the server cannot re-run client logic.
+// A Txn is not safe for concurrent use by multiple goroutines.
+type Txn struct {
+	sess *Session
+	tx   *engine.Txn
+	done bool
+}
+
+// Begin opens an explicit transaction pinned to the current database
+// snapshot and index configuration.
+func (sess *Session) Begin() (*Txn, error) {
+	if sess.srv.closed.Load() {
+		return nil, ErrClosed
+	}
+	return &Txn{sess: sess, tx: sess.srv.eng.Begin()}, nil
+}
+
+// Execute parses and executes one statement inside the transaction
+// under the server's admission control. Mutations buffer in the
+// transaction; queries see the snapshot plus the buffered writes.
+func (t *Txn) Execute(raw string) (*Result, error) {
+	stmt, err := xquery.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if t.done {
+		return nil, ErrTxnFinished
+	}
+	s := t.sess.srv
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		return nil, ErrOverloaded
+	}
+	defer func() { <-s.admit }()
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	wg := s.flight.enter()
+	defer wg.Done()
+
+	refs, st, err := t.tx.Execute(stmt)
+	t.sess.mu.Lock()
+	if err != nil {
+		t.sess.errors++
+	} else {
+		t.sess.stats.Add(st)
+		t.sess.executed++
+	}
+	t.sess.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	s.capture.Observe(stmt, 1)
+	return &Result{Refs: refs, Stats: st}, nil
+}
+
+// Commit publishes the transaction atomically. On storage.ErrConflict
+// nothing was applied; the client may re-run the transaction.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	t.done = true
+	_, err := t.sess.srv.commitTxn(t.tx)
+	return err
+}
+
+// Rollback abandons the transaction. Rolling back a finished
+// transaction is a no-op.
+func (t *Txn) Rollback() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.tx.Rollback()
+	t.sess.srv.aborts.Add(1)
+}

@@ -1,0 +1,407 @@
+// Multi-version concurrency control: the version dimension under the
+// table substrate. Every committed mutation produces a new immutable
+// version of the documents it touched, tagged with a commit stamp (the
+// storage layer's commit LSN); a snapshot is nothing but a pinned
+// stamp, and a reader at stamp S sees, for every document, the newest
+// version committed at or below S. This is what lets the serving
+// layer's writers run concurrently: a transaction executes against its
+// snapshot, buffers writes, and commits through CommitTx, which
+// validates first-writer-wins against the versions committed since the
+// snapshot and applies the whole write set atomically.
+//
+// Locking protocol (acquisition order, outermost first):
+// table.commitMu (sorted by table name) -> mvcc.mu (publish lock) ->
+// mvcc.pinMu -> table.mu.
+//
+//   - commitMu serializes committers per table: validation and
+//     commit-time document ID assignment happen under it, so the
+//     versions a transaction validated against cannot change before
+//     its write set publishes. Transactions on disjoint tables never
+//     share a commitMu — that is the multi-writer scaling.
+//   - mvcc.mu, the publish lock, serializes the short apply+stamp
+//     critical section across all tables, so the watermark only ever
+//     advances over fully applied commits and a snapshot can never
+//     observe half a transaction. WAL appends happen inside it, so log
+//     order equals commit-stamp order (serial replay determinism).
+//   - pinMu guards the snapshot pin registry. Pins read the watermark
+//     under pinMu, so the garbage-collection horizon (min pinned
+//     stamp) can never race past a snapshot being pinned.
+//
+// Version chains prune opportunistically at each push: everything
+// strictly below the newest version at or below the horizon is
+// unreachable by any pinnable snapshot and is cut. With no snapshots
+// pinned the horizon equals the watermark, so chains stay ~1 long and
+// a delete's chain is swept entirely — plain single-writer table use
+// pays no memory for the version dimension.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"xixa/internal/xmltree"
+)
+
+// docVersion is one link of a document's version chain, newest first.
+// A nil doc is a delete marker: the document was deleted by the commit
+// that produced this version.
+type docVersion struct {
+	doc  *xmltree.Document
+	lsn  uint64 // commit stamp that produced this version
+	prev *docVersion
+}
+
+// mvccState is the commit-stamp allocator, publish lock, and snapshot
+// pin registry shared by every table of one database (a standalone
+// NewTable gets a private one).
+type mvccState struct {
+	mu        sync.Mutex    // publish lock: apply + stamp advance
+	watermark atomic.Uint64 // highest fully applied commit stamp
+
+	pinMu sync.Mutex
+	pins  map[uint64]int // pinned stamp -> refcount
+}
+
+func newMVCCState() *mvccState {
+	return &mvccState{pins: make(map[uint64]int)}
+}
+
+// pin registers a snapshot at the current watermark. Reading the
+// watermark under pinMu makes pinning atomic against horizon
+// computation: the pruner either sees this pin or computes a horizon
+// no higher than the stamp this pin receives.
+func (mv *mvccState) pin() uint64 {
+	mv.pinMu.Lock()
+	defer mv.pinMu.Unlock()
+	s := mv.watermark.Load()
+	mv.pins[s]++
+	return s
+}
+
+func (mv *mvccState) unpin(s uint64) {
+	mv.pinMu.Lock()
+	defer mv.pinMu.Unlock()
+	if n := mv.pins[s]; n > 1 {
+		mv.pins[s] = n - 1
+	} else {
+		delete(mv.pins, s)
+	}
+}
+
+// horizon is the garbage-collection floor: the smallest pinned stamp,
+// or the watermark when nothing is pinned. Versions whose successors
+// are all at or below the horizon can never be read again.
+func (mv *mvccState) horizon() uint64 {
+	mv.pinMu.Lock()
+	defer mv.pinMu.Unlock()
+	h := mv.watermark.Load()
+	for s := range mv.pins {
+		if s < h {
+			h = s
+		}
+	}
+	return h
+}
+
+// Watermark returns the highest fully applied commit stamp — the stamp
+// a snapshot pinned right now would read at.
+func (db *Database) Watermark() uint64 { return db.mv.watermark.Load() }
+
+// Snapshot is a pinned, immutable view of the whole database at one
+// commit stamp. It must be Released when done or garbage collection
+// stalls at its stamp.
+type Snapshot struct {
+	db       *Database
+	lsn      uint64
+	released atomic.Bool
+}
+
+// PinSnapshot pins the current committed state: every table read
+// through the snapshot sees exactly the versions committed at or below
+// its stamp, no matter what commits afterwards.
+func (db *Database) PinSnapshot() *Snapshot {
+	return &Snapshot{db: db, lsn: db.mv.pin()}
+}
+
+// LSN returns the snapshot's commit stamp.
+func (s *Snapshot) LSN() uint64 { return s.lsn }
+
+// Release unpins the snapshot, letting garbage collection advance past
+// its stamp. Releasing twice is a no-op.
+func (s *Snapshot) Release() {
+	if s.released.CompareAndSwap(false, true) {
+		s.db.mv.unpin(s.lsn)
+	}
+}
+
+// Table returns a reader over one table at the snapshot's stamp.
+func (s *Snapshot) Table(name string) (*TableView, error) {
+	t, err := s.db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &TableView{t: t, lsn: s.lsn}, nil
+}
+
+// TableView reads one table at a fixed commit stamp.
+type TableView struct {
+	t   *Table
+	lsn uint64
+}
+
+// LSN returns the view's commit stamp.
+func (v *TableView) LSN() uint64 { return v.lsn }
+
+// visibleLocked resolves the version of id visible at stamp lsn.
+// Callers hold t.mu.
+func (t *Table) visibleLocked(id int64, lsn uint64) (*xmltree.Document, bool) {
+	for ver := t.heads[id]; ver != nil; ver = ver.prev {
+		if ver.lsn <= lsn {
+			if ver.doc == nil {
+				return nil, false
+			}
+			return ver.doc, true
+		}
+	}
+	return nil, false
+}
+
+// Get fetches the version of a document visible at the view's stamp.
+func (v *TableView) Get(id int64) (*xmltree.Document, bool) {
+	v.t.mu.RLock()
+	defer v.t.mu.RUnlock()
+	return v.t.visibleLocked(id, v.lsn)
+}
+
+// Scan visits every document visible at the view's stamp, in insertion
+// order. The visit function returns false to stop; Scan reports the
+// number of documents visited.
+func (v *TableView) Scan(visit func(*xmltree.Document) bool) int {
+	t := v.t
+	t.mu.RLock()
+	ids := make([]int64, 0, len(t.order)-t.tombs)
+	for _, id := range t.order {
+		if id != tombstone {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.RUnlock()
+	visited := 0
+	for _, id := range ids {
+		t.mu.RLock()
+		d, ok := t.visibleLocked(id, v.lsn)
+		t.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		visited++
+		if !visit(d) {
+			break
+		}
+	}
+	return visited
+}
+
+// pushVersionLocked links a new version (doc == nil for a delete
+// marker) onto id's chain and prunes the tail: the newest version at
+// or below horizon is the boundary no pinnable snapshot can see past,
+// so everything older is cut. Callers hold t.mu.
+func (t *Table) pushVersionLocked(id int64, doc *xmltree.Document, stamp, horizon uint64) {
+	v := &docVersion{doc: doc, lsn: stamp, prev: t.heads[id]}
+	t.heads[id] = v
+	for cur := v; cur != nil; cur = cur.prev {
+		if cur.lsn <= horizon {
+			cur.prev = nil
+			break
+		}
+	}
+}
+
+// sweepLocked garbage-collects chains whose head is a delete marker at
+// or below the horizon: no pinned snapshot can see any version of such
+// a chain, so the chain, its order slot, and its position entry all
+// go. Runs under t.mu when dead chains dominate (the delete-heavy
+// analogue of compactLocked's tombstone heuristic).
+func (t *Table) sweepLocked(horizon uint64) {
+	for i, id := range t.order {
+		if id == tombstone {
+			continue
+		}
+		head := t.heads[id]
+		if head == nil || head.doc != nil || head.lsn > horizon {
+			continue
+		}
+		delete(t.heads, id)
+		delete(t.pos, id)
+		t.order[i] = tombstone
+		t.tombs++
+		t.dead--
+	}
+	if t.tombs > 64 && t.tombs > len(t.order)/2 {
+		t.compactLocked()
+	}
+}
+
+// TxOpKind discriminates a transaction's buffered write operations.
+type TxOpKind uint8
+
+const (
+	// TxInsert adds a new document. DocID is provisional (negative)
+	// until commit, when the real ID is assigned in commit order.
+	TxInsert TxOpKind = iota + 1
+	// TxDelete removes the document under DocID.
+	TxDelete
+	// TxReplace swaps the document under DocID for Doc (the engine's
+	// copy-on-write UPDATE).
+	TxReplace
+)
+
+// TxOp is one buffered write of a transaction, applied at commit.
+type TxOp struct {
+	Table string
+	Kind  TxOpKind
+	// DocID is the target document for TxDelete and TxReplace. For
+	// TxInsert it carries the transaction's provisional (negative) ID
+	// until CommitTx assigns the real one.
+	DocID int64
+	// Doc is the new document of a TxInsert or the post-image of a
+	// TxReplace.
+	Doc *xmltree.Document
+}
+
+// ErrConflict reports a first-writer-wins validation failure: another
+// transaction committed a newer version of a document this one wants
+// to delete or replace. The loser aborts; callers retry on a fresh
+// snapshot.
+var ErrConflict = errors.New("storage: write-write conflict (first writer wins)")
+
+// CommitTx atomically commits a transaction's buffered writes taken
+// against a snapshot at snapLSN. It locks only the written tables'
+// commit locks (sorted by name, so commits on disjoint tables run
+// fully concurrently and overlapping lock sets cannot deadlock),
+// validates first-writer-wins — every document the transaction deletes
+// or replaces must still head its chain with a stamp at or below
+// snapLSN — assigns real document IDs to inserts in commit order, and
+// publishes the whole write set under one commit stamp, so snapshots
+// see all of the transaction or none of it.
+//
+// prepare, when non-nil, hooks the write-ahead log in: it is called
+// after ID assignment but before the publish lock (payload encoding
+// runs concurrently with other tables' commits), and the append
+// closure it returns runs inside the publish lock, so log order equals
+// commit-stamp order. The closure's LSN (the transaction's last log
+// record) is returned as logLSN for the caller's group-commit fsync.
+//
+// An empty write set commits trivially: stamp and logLSN are 0 and no
+// state changes. On ErrConflict nothing was applied or logged.
+func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp) (func() (uint64, error), error)) (stamp, logLSN uint64, err error) {
+	if len(ops) == 0 {
+		return 0, 0, nil
+	}
+
+	// Resolve written tables; sort for deadlock-free lock acquisition.
+	names := make([]string, 0, 2)
+	tables := make(map[string]*Table, 2)
+	for i := range ops {
+		name := ops[i].Table
+		if _, ok := tables[name]; ok {
+			continue
+		}
+		t, terr := db.Table(name)
+		if terr != nil {
+			return 0, 0, terr
+		}
+		tables[name] = t
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tables[name].commitMu.Lock()
+	}
+	defer func() {
+		for _, name := range names {
+			tables[name].commitMu.Unlock()
+		}
+	}()
+
+	// First-writer-wins validation: under the commit locks the chains
+	// cannot move, so a head stamped at or below the snapshot here is
+	// still the version the transaction read when it publishes.
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind == TxInsert {
+			continue
+		}
+		t := tables[op.Table]
+		t.mu.RLock()
+		head := t.heads[op.DocID]
+		t.mu.RUnlock()
+		if head == nil || head.doc == nil || head.lsn > snapLSN {
+			return 0, 0, fmt.Errorf("%w: %s doc %d", ErrConflict, op.Table, op.DocID)
+		}
+	}
+
+	// Commit-time ID assignment: per table, insert order within the
+	// transaction and commitMu order across transactions — so document
+	// IDs follow commit order and a serial replay of the committed
+	// sequence reproduces them exactly. Aborted transactions burn none.
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind != TxInsert {
+			continue
+		}
+		t := tables[op.Table]
+		t.mu.Lock()
+		op.DocID = t.nextID
+		t.nextID++
+		t.mu.Unlock()
+		op.Doc.DocID = op.DocID
+	}
+
+	// Encode log payloads outside the publish lock: commits on other
+	// tables publish concurrently while this one serializes documents.
+	var appendLog func() (uint64, error)
+	if prepare != nil {
+		if appendLog, err = prepare(ops); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Publish: append to the log and apply the write set, one table
+	// lock hold per table (change subscribers see each table's part of
+	// the transaction as one atomic batch), then advance the watermark.
+	mv := db.mv
+	mv.mu.Lock()
+	defer mv.mu.Unlock()
+	stamp = mv.watermark.Load() + 1
+	if appendLog != nil {
+		if logLSN, err = appendLog(); err != nil {
+			return 0, 0, err
+		}
+	}
+	horizon := mv.horizon()
+	for _, name := range names {
+		t := tables[name]
+		t.mu.Lock()
+		for i := range ops {
+			op := &ops[i]
+			if op.Table != name {
+				continue
+			}
+			switch op.Kind {
+			case TxInsert:
+				t.applyInsertLocked(op.Doc, op.DocID, stamp, horizon, true)
+			case TxDelete:
+				t.applyDeleteLocked(op.DocID, stamp, horizon, true)
+			case TxReplace:
+				t.applyReplaceLocked(op.DocID, op.Doc, stamp, horizon, true)
+			}
+		}
+		t.mu.Unlock()
+	}
+	mv.watermark.Store(stamp)
+	return stamp, logLSN, nil
+}

@@ -51,6 +51,16 @@ type Change struct {
 	// value-level subscribers can ignore it and handle the pair as an
 	// ordinary remove+insert.
 	Replaced bool
+	// LSN is the commit stamp that produced this change. Every change
+	// of one transaction carries the same stamp, so feed subscribers
+	// can tell transaction boundaries apart.
+	LSN uint64
+	// Txn marks a change applied by a transaction commit (CommitTx).
+	// The write-ahead log sink skips such changes — the transaction
+	// manager logs them itself, framed, before they apply — while
+	// value-level subscribers (statistics, online indexes) treat them
+	// like any other mutation.
+	Txn bool
 }
 
 // tombstone marks a deleted slot in the insertion-order slice.
@@ -78,11 +88,23 @@ type Table struct {
 	// IDs instead of re-deriving label paths per node.
 	dict *xmltree.PathDict
 
+	// mv is the database-wide MVCC state (commit stamps, publish lock,
+	// snapshot pins); standalone tables carry a private one.
+	mv *mvccState
+
+	// commitMu serializes committers targeting this table: legacy
+	// single-statement mutations and CommitTx validation+apply. It is
+	// the outermost lock of the commit protocol (see mvcc.go) and is
+	// per-table, so commits on disjoint tables run concurrently.
+	commitMu sync.Mutex
+
 	mu      sync.RWMutex
-	docs    map[int64]*xmltree.Document
-	order   []int64       // insertion order for deterministic scans; tombstone = deleted
-	pos     map[int64]int // doc ID -> index in order, for O(1) deletes
-	tombs   int           // tombstone count in order
+	docs    map[int64]*xmltree.Document // current committed heads
+	heads   map[int64]*docVersion       // version chains, newest first
+	order   []int64                     // insertion order for deterministic scans; tombstone = deleted
+	pos     map[int64]int               // doc ID -> index in order, for O(1) deletes
+	tombs   int                         // tombstone count in order
+	dead    int                         // chains headed by a delete marker, awaiting sweep
 	nextID  int64
 	nodes   int64 // total node count across documents
 	bytes   int64 // total storage bytes
@@ -92,13 +114,20 @@ type Table struct {
 	nextSub   SubID
 }
 
-// NewTable creates an empty table.
+// NewTable creates an empty standalone table with its own MVCC state.
+// Tables created through Database.CreateTable share the database's.
 func NewTable(name string) *Table {
+	return newTable(name, newMVCCState())
+}
+
+func newTable(name string, mv *mvccState) *Table {
 	return &Table{
-		Name: name,
-		dict: xmltree.NewPathDict(),
-		docs: make(map[int64]*xmltree.Document),
-		pos:  make(map[int64]int),
+		Name:  name,
+		dict:  xmltree.NewPathDict(),
+		mv:    mv,
+		docs:  make(map[int64]*xmltree.Document),
+		heads: make(map[int64]*docVersion),
+		pos:   make(map[int64]int),
 	}
 }
 
@@ -153,7 +182,12 @@ func (t *Table) SubscribeScan(fn func(Change), init func(*xmltree.Document)) (in
 			if docID == tombstone {
 				continue
 			}
-			init(t.docs[docID])
+			// An order slot may outlive its document (deleted but not
+			// yet swept: the chain keeps a delete marker for pinned
+			// snapshots); only current documents seed the subscriber.
+			if d, ok := t.docs[docID]; ok {
+				init(d)
+			}
 		}
 	}
 	return t.version, id
@@ -166,14 +200,36 @@ func (t *Table) notify(c Change) {
 	}
 }
 
+// beginStamp opens a legacy (non-transactional) mutation: it takes the
+// table's commit lock and the publish lock, and returns the stamp the
+// mutation will commit at plus the garbage-collection horizon. The
+// caller applies under t.mu, then calls endStamp with ok reporting
+// whether anything was applied (the watermark only advances over real
+// commits).
+func (t *Table) beginStamp() (stamp, horizon uint64) {
+	t.commitMu.Lock()
+	t.mv.mu.Lock()
+	return t.mv.watermark.Load() + 1, t.mv.horizon()
+}
+
+func (t *Table) endStamp(stamp uint64, ok bool) {
+	if ok {
+		t.mv.watermark.Store(stamp)
+	}
+	t.mv.mu.Unlock()
+	t.commitMu.Unlock()
+}
+
 // Insert stores a document and returns its assigned document ID. The
 // document's paths are interned into the table's shared dictionary.
 func (t *Table) Insert(doc *xmltree.Document) int64 {
+	stamp, horizon := t.beginStamp()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	id := t.nextID
 	t.nextID++
-	t.insertLocked(doc, id)
+	t.applyInsertLocked(doc, id, stamp, horizon, false)
+	t.mu.Unlock()
+	t.endStamp(stamp, true)
 	return id
 }
 
@@ -182,31 +238,51 @@ func (t *Table) Insert(doc *xmltree.Document) int64 {
 // built against. It fails if the ID is already taken, and raises nextID
 // past the restored ID so later Inserts cannot collide.
 func (t *Table) InsertAt(doc *xmltree.Document, id int64) error {
+	stamp, horizon := t.beginStamp()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if id < 0 {
+		t.mu.Unlock()
+		t.endStamp(stamp, false)
 		return fmt.Errorf("storage: invalid document ID %d", id)
 	}
 	if _, taken := t.docs[id]; taken {
+		t.mu.Unlock()
+		t.endStamp(stamp, false)
 		return fmt.Errorf("storage: document ID %d already exists in table %q", id, t.Name)
 	}
 	if id >= t.nextID {
 		t.nextID = id + 1
 	}
-	t.insertLocked(doc, id)
+	t.applyInsertLocked(doc, id, stamp, horizon, false)
+	t.mu.Unlock()
+	t.endStamp(stamp, true)
 	return nil
 }
 
-func (t *Table) insertLocked(doc *xmltree.Document, id int64) {
+// applyInsertLocked stores doc under id at the given commit stamp.
+// Callers hold t.mu and the commit protocol's outer locks.
+func (t *Table) applyInsertLocked(doc *xmltree.Document, id int64, stamp, horizon uint64, txn bool) {
 	doc.InternPaths(t.dict)
 	doc.DocID = id
+	if old, ok := t.pos[id]; ok {
+		// The ID's previous incarnation (deleted but not yet swept)
+		// still occupies an order slot: tombstone it so the re-insert
+		// appends at the end, exactly where a pre-MVCC delete+insert
+		// would have placed it.
+		t.order[old] = tombstone
+		t.tombs++
+		if head := t.heads[id]; head != nil && head.doc == nil {
+			t.dead--
+		}
+	}
 	t.docs[id] = doc
 	t.pos[id] = len(t.order)
 	t.order = append(t.order, id)
+	t.pushVersionLocked(id, doc, stamp, horizon)
 	t.nodes += int64(doc.Len())
 	t.bytes += doc.StorageBytes()
 	t.version++
-	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version})
+	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version, LSN: stamp, Txn: txn})
 }
 
 // SetNextID raises the table's next document ID (snapshot restore: the
@@ -228,29 +304,38 @@ func (t *Table) NextID() int64 {
 }
 
 // Delete removes a document by ID, reporting whether it existed. The
-// insertion-order slot becomes a tombstone (compacted once tombstones
-// dominate), so heavy delete streams stay O(1) per delete instead of
-// splicing the order slice.
+// version chain gains a delete marker so pinned snapshots keep seeing
+// the document; once no snapshot can (the marker falls below the GC
+// horizon), the chain and its insertion-order slot are swept and
+// compacted, so heavy delete streams stay amortized O(1) per delete.
 func (t *Table) Delete(id int64) bool {
+	stamp, horizon := t.beginStamp()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	_, ok := t.applyDeleteLocked(id, stamp, horizon, false)
+	t.mu.Unlock()
+	t.endStamp(stamp, ok)
+	return ok
+}
+
+// applyDeleteLocked pushes a delete marker for id at the given commit
+// stamp, returning the removed document. Callers hold t.mu and the
+// commit protocol's outer locks.
+func (t *Table) applyDeleteLocked(id int64, stamp, horizon uint64, txn bool) (*xmltree.Document, bool) {
 	doc, ok := t.docs[id]
 	if !ok {
-		return false
+		return nil, false
 	}
 	delete(t.docs, id)
 	t.nodes -= int64(doc.Len())
 	t.bytes -= doc.StorageBytes()
-	i := t.pos[id]
-	t.order[i] = tombstone
-	delete(t.pos, id)
-	t.tombs++
-	if t.tombs > 64 && t.tombs > len(t.order)/2 {
-		t.compactLocked()
-	}
+	t.pushVersionLocked(id, nil, stamp, horizon)
+	t.dead++
 	t.version++
-	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version})
-	return true
+	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version, LSN: stamp, Txn: txn})
+	if t.dead > 64 && t.dead*2 > len(t.order) {
+		t.sweepLocked(horizon)
+	}
+	return doc, true
 }
 
 // compactLocked rewrites order without tombstones and rebuilds pos.
@@ -278,8 +363,18 @@ func (t *Table) compactLocked() {
 // increments), and the new document keeps the old document's ID and
 // insertion-order position.
 func (t *Table) Replace(id int64, newDoc *xmltree.Document) bool {
+	stamp, horizon := t.beginStamp()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	ok := t.applyReplaceLocked(id, newDoc, stamp, horizon, false)
+	t.mu.Unlock()
+	t.endStamp(stamp, ok)
+	return ok
+}
+
+// applyReplaceLocked swaps the document under id for newDoc at the
+// given commit stamp. Callers hold t.mu and the commit protocol's
+// outer locks.
+func (t *Table) applyReplaceLocked(id int64, newDoc *xmltree.Document, stamp, horizon uint64, txn bool) bool {
 	old, ok := t.docs[id]
 	if !ok {
 		return false
@@ -289,10 +384,11 @@ func (t *Table) Replace(id int64, newDoc *xmltree.Document) bool {
 	t.nodes += int64(newDoc.Len()) - int64(old.Len())
 	t.bytes += newDoc.StorageBytes() - old.StorageBytes()
 	t.version++
-	t.notify(Change{Kind: DocRemoved, Doc: old, Version: t.version, Replaced: true})
+	t.notify(Change{Kind: DocRemoved, Doc: old, Version: t.version, LSN: stamp, Txn: txn, Replaced: true})
 	t.docs[id] = newDoc
+	t.pushVersionLocked(id, newDoc, stamp, horizon)
 	t.version++
-	t.notify(Change{Kind: DocInserted, Doc: newDoc, Version: t.version, Replaced: true})
+	t.notify(Change{Kind: DocInserted, Doc: newDoc, Version: t.version, LSN: stamp, Txn: txn, Replaced: true})
 	return true
 }
 
@@ -314,19 +410,23 @@ func (t *Table) Replace(id int64, newDoc *xmltree.Document) bool {
 // Replace (copy-on-write) instead; Update remains for single-writer
 // batch tooling.
 func (t *Table) Update(id int64, mutate func(*xmltree.Document)) bool {
+	stamp, _ := t.beginStamp()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	doc, ok := t.docs[id]
 	if !ok {
+		t.mu.Unlock()
+		t.endStamp(stamp, false)
 		return false
 	}
 	t.version++
-	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version, Replaced: true})
+	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version, LSN: stamp, Replaced: true})
 	preBytes := doc.StorageBytes()
 	mutate(doc)
 	t.bytes += doc.StorageBytes() - preBytes
 	t.version++
-	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version, Replaced: true})
+	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version, LSN: stamp, Replaced: true})
+	t.mu.Unlock()
+	t.endStamp(stamp, true)
 	return true
 }
 
@@ -394,15 +494,18 @@ func (t *Table) Version() int64 {
 	return t.version
 }
 
-// Database is a set of named tables.
+// Database is a set of named tables sharing one MVCC state, so a
+// snapshot pins a consistent cut across all of them and transactions
+// can span tables.
 type Database struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	mv     *mvccState
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{tables: make(map[string]*Table)}
+	return &Database{tables: make(map[string]*Table), mv: newMVCCState()}
 }
 
 // CreateTable adds a new empty table. It fails if the name is taken.
@@ -412,7 +515,7 @@ func (db *Database) CreateTable(name string) (*Table, error) {
 	if _, ok := db.tables[name]; ok {
 		return nil, fmt.Errorf("storage: table %q already exists", name)
 	}
-	t := NewTable(name)
+	t := newTable(name, db.mv)
 	db.tables[name] = t
 	return t, nil
 }

@@ -33,6 +33,16 @@ const (
 	// them apart — recovery would then delete a committed document and
 	// materialize a state that never existed in memory.
 	RecDocReplace
+	// RecTxnBegin and RecTxnCommit frame a multi-operation transaction:
+	// the document records between a begin and its matching commit
+	// (same transaction ID) apply atomically on replay, and a begin
+	// with no commit before the log ends is discarded — the crash hit
+	// before the transaction's records were durable, so none of its
+	// effects may survive. Single-operation transactions are logged as
+	// a bare document record (self-framing; torn trailing records are
+	// already dropped by the frame CRC).
+	RecTxnBegin
+	RecTxnCommit
 )
 
 func (k RecKind) String() string {
@@ -47,6 +57,10 @@ func (k RecKind) String() string {
 		return "index-drop"
 	case RecDocReplace:
 		return "doc-replace"
+	case RecTxnBegin:
+		return "txn-begin"
+	case RecTxnCommit:
+		return "txn-commit"
 	}
 	return fmt.Sprintf("rec(%d)", uint8(k))
 }
@@ -64,6 +78,9 @@ type Record struct {
 	Doc *xmltree.Document
 	// Def is the definition of a RecIndexCreate or RecIndexDrop.
 	Def xindex.Definition
+	// TxnID identifies the transaction of a RecTxnBegin or
+	// RecTxnCommit frame.
+	TxnID uint64
 }
 
 // payload builders — frame layout per kind:
@@ -72,6 +89,7 @@ type Record struct {
 //	doc-replace:  kind, str table, uvarint docID, persist doc encoding
 //	doc-remove:   kind, str table, uvarint docID
 //	index-*:      kind, str table, str pattern, byte valueKind
+//	txn-*:        kind, uvarint txnID
 
 func putStr(b *bytes.Buffer, s string) {
 	var tmp [binary.MaxVarintLen64]byte
@@ -97,24 +115,64 @@ func (l *Log) AppendDocReplace(table string, doc *xmltree.Document) (uint64, err
 }
 
 func (l *Log) appendDoc(kind RecKind, table string, doc *xmltree.Document) (uint64, error) {
+	p, err := encodeDoc(kind, table, doc)
+	if err != nil {
+		return 0, err
+	}
+	return l.append(p)
+}
+
+// AppendDocRemove logs a document leaving a table.
+func (l *Log) AppendDocRemove(table string, docID int64) (uint64, error) {
+	return l.append(EncodeDocRemove(table, docID))
+}
+
+// Standalone payload encoders: transaction commits pre-encode their
+// record payloads outside the storage publish lock, then hand the
+// batch to AppendTxn in one piece.
+
+func encodeDoc(kind RecKind, table string, doc *xmltree.Document) ([]byte, error) {
 	var b bytes.Buffer
 	b.WriteByte(byte(kind))
 	putStr(&b, table)
 	putUvarint(&b, uint64(doc.DocID))
 	if err := persist.EncodeDoc(&b, doc); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return l.append(b.Bytes())
+	return b.Bytes(), nil
 }
 
-// AppendDocRemove logs a document leaving a table.
-func (l *Log) AppendDocRemove(table string, docID int64) (uint64, error) {
+// EncodeDocInsert builds the payload AppendDocInsert would log.
+func EncodeDocInsert(table string, doc *xmltree.Document) ([]byte, error) {
+	return encodeDoc(RecDocInsert, table, doc)
+}
+
+// EncodeDocReplace builds the payload AppendDocReplace would log.
+func EncodeDocReplace(table string, doc *xmltree.Document) ([]byte, error) {
+	return encodeDoc(RecDocReplace, table, doc)
+}
+
+// EncodeDocRemove builds the payload AppendDocRemove would log.
+func EncodeDocRemove(table string, docID int64) []byte {
 	var b bytes.Buffer
 	b.WriteByte(byte(RecDocRemove))
 	putStr(&b, table)
 	putUvarint(&b, uint64(docID))
-	return l.append(b.Bytes())
+	return b.Bytes()
 }
+
+func encodeTxn(kind RecKind, txnID uint64) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(kind))
+	putUvarint(&b, txnID)
+	return b.Bytes()
+}
+
+// EncodeTxnBegin builds a transaction-begin frame payload.
+func EncodeTxnBegin(txnID uint64) []byte { return encodeTxn(RecTxnBegin, txnID) }
+
+// EncodeTxnCommit builds a transaction-commit frame payload.
+func EncodeTxnCommit(txnID uint64) []byte { return encodeTxn(RecTxnCommit, txnID) }
 
 // AppendIndexCreate logs an index definition entering the catalog.
 func (l *Log) AppendIndexCreate(def xindex.Definition) (uint64, error) {
@@ -221,6 +279,10 @@ func decodeRecord(lsn uint64, payload []byte) (Record, error) {
 			kind = xpath.NumberVal
 		}
 		rec.Def = xindex.Definition{Table: table, Pattern: pattern, Type: kind}
+	case RecTxnBegin, RecTxnCommit:
+		if rec.TxnID, err = binary.ReadUvarint(r); err != nil {
+			return Record{}, err
+		}
 	default:
 		return Record{}, fmt.Errorf("wal: unknown record kind %d", kb)
 	}

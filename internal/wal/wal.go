@@ -25,9 +25,10 @@
 // Group commit: appends only buffer; durability comes from Commit. Under
 // SyncAlways, concurrent committers elect a leader that flushes the
 // buffer and issues one fsync covering every record appended so far —
-// sessions that serialized on the server's writer lock batch into one
-// fsync, so commit throughput scales with the batch size instead of
-// disk latency. SyncBatched commits flush to the OS (surviving a
+// concurrent transaction commits (which append under the storage
+// layer's publish lock, so log order equals commit order) batch into
+// one fsync, and commit throughput scales with the batch size instead
+// of disk latency. SyncBatched commits flush to the OS (surviving a
 // process crash) and leave fsync to a background ticker, bounding the
 // power-loss window to MaxDelay. SyncOff never syncs.
 package wal
@@ -329,6 +330,44 @@ func (l *Log) append(payload []byte) (uint64, error) {
 	}
 	l.last++
 	l.size += frameLen + int64(len(payload))
+	return l.last, nil
+}
+
+// AppendTxn frames and buffers a transaction's payloads contiguously —
+// no other writer's records can interleave with the batch — and
+// returns the LSN of the batch's last record. A write failure poisons
+// the log (l.fail), so a half-written batch can never be followed by
+// more records; recovery's tail-scan then drops the torn frame and the
+// transaction framing discards the unterminated transaction.
+func (l *Log) AppendTxn(payloads [][]byte) (uint64, error) {
+	for _, p := range payloads {
+		if len(p) > maxRecordLen {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(p))
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.fail != nil {
+		return 0, l.fail
+	}
+	for _, p := range payloads {
+		var frame [frameLen]byte
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(p, crcTable))
+		if _, err := l.w.Write(frame[:]); err != nil {
+			l.fail = err
+			return 0, err
+		}
+		if _, err := l.w.Write(p); err != nil {
+			l.fail = err
+			return 0, err
+		}
+		l.last++
+		l.size += frameLen + int64(len(p))
+	}
 	return l.last, nil
 }
 

@@ -438,3 +438,94 @@ func TestTruncateAdvancesPastLast(t *testing.T) {
 		t.Fatalf("reopened: start=%d records=%+v, want start 100 with one record at 101", l2.StartLSN(), res.Records)
 	}
 }
+
+// TestAppendTxnFramingRoundTrip: a transaction batch appends as one
+// contiguous run of frames — begin, the operations, commit — and the
+// records round-trip with matching transaction IDs and consecutive
+// LSNs even when standalone appends race the batch.
+func TestAppendTxnFramingRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openTestLog(t, path, Options{Policy: SyncOff})
+
+	ins, err := EncodeDocInsert("SECURITY", testDoc(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EncodeDocReplace("ORDERS", testDoc(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]byte{
+		EncodeTxnBegin(42),
+		ins,
+		rep,
+		EncodeDocRemove("SECURITY", 9),
+		EncodeTxnCommit(42),
+	}
+
+	// Standalone appends race the batch from another goroutine; the
+	// batch frames must still come out contiguous.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := l.AppendDocRemove("NOISE", int64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var last uint64
+	for i := 0; i < 50; i++ {
+		if last, err = l.AppendTxn(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := l.Commit(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res := openTestLog(t, path, Options{Policy: SyncOff})
+	if res.Torn {
+		t.Fatal("clean log reported torn")
+	}
+	wantKinds := []RecKind{RecTxnBegin, RecDocInsert, RecDocReplace, RecDocRemove, RecTxnCommit}
+	batches := 0
+	for i := 0; i < len(res.Records); {
+		rec := res.Records[i]
+		if rec.Kind != RecTxnBegin {
+			if rec.Table != "NOISE" {
+				t.Fatalf("unexpected standalone record %+v", rec)
+			}
+			i++
+			continue
+		}
+		if rec.TxnID != 42 {
+			t.Fatalf("txn-begin ID = %d, want 42", rec.TxnID)
+		}
+		for j, want := range wantKinds {
+			got := res.Records[i+j]
+			if got.Kind != want {
+				t.Fatalf("batch record %d kind = %v, want %v (batch interleaved?)", j, got.Kind, want)
+			}
+			if got.LSN != rec.LSN+uint64(j) {
+				t.Fatalf("batch LSNs not consecutive: %d vs %d+%d", got.LSN, rec.LSN, j)
+			}
+		}
+		if res.Records[i+len(wantKinds)-1].TxnID != 42 {
+			t.Fatal("txn-commit ID does not round-trip")
+		}
+		if res.Records[i+1].Table != "SECURITY" || res.Records[i+2].Table != "ORDERS" {
+			t.Fatalf("batch op payloads corrupted: %+v", res.Records[i:i+5])
+		}
+		batches++
+		i += len(wantKinds)
+	}
+	if batches != 50 {
+		t.Fatalf("found %d intact batches, want 50", batches)
+	}
+}

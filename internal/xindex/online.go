@@ -10,7 +10,12 @@
 //     the current document pointers (SubscribeScan — O(docs) pointer
 //     copies under the table lock, no per-document work). From this
 //     instant every mutation is either in the snapshot or delivered as
-//     a change event, never both. Events buffer while the build runs.
+//     a change event, never both. MVCC transaction commits apply each
+//     table's part of their write set under one table-lock hold, so
+//     the capture boundary is a consistent cut: it never lands inside
+//     a transaction's batch for this table, and catch-up replays whole
+//     per-table batches in commit-stamp order. Events buffer while the
+//     build runs.
 //  2. Build: index the snapshot off to the side. Documents are
 //     immutable (updates are copy-on-write storage.Table.Replace), so
 //     no lock is needed while indexing them.
