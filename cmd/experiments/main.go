@@ -7,7 +7,8 @@
 //
 // Names: table1, fig2, fig3, table3, table4, fig4, fig5,
 // ablation-calls, ablation-beta, updates, update-stream, serve-tune,
-// multi-writer, crash-recover, xmark, all (default).
+// multi-writer, crash-recover, replica-failover, restore-lsn, xmark,
+// all (default).
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "TPoX data scale factor (1 = 1000 securities, 2000 orders, 500 customers)")
-	run := flag.String("run", "all", "comma-separated experiment names (table1,fig2,fig3,table3,table4,fig4,fig5,ablation-calls,ablation-beta,updates,update-stream,serve-tune,multi-writer,crash-recover,xmark,all)")
+	run := flag.String("run", "all", "comma-separated experiment names (table1,fig2,fig3,table3,table4,fig4,fig5,ablation-calls,ablation-beta,updates,update-stream,serve-tune,multi-writer,crash-recover,replica-failover,restore-lsn,xmark,all)")
 	parallelism := flag.Int("parallelism", 0, "advisor fan-out width (0 = GOMAXPROCS, 1 = the paper's serial pipeline)")
 	flag.Parse()
 
@@ -79,6 +80,14 @@ func main() {
 		}},
 		{"crash-recover", func() error {
 			_, err := experiments.CrashRecover(out, *scale)
+			return err
+		}},
+		{"replica-failover", func() error {
+			_, err := experiments.ReplicaFailover(out, *scale)
+			return err
+		}},
+		{"restore-lsn", func() error {
+			_, err := experiments.RestoreLSN(out, *scale)
 			return err
 		}},
 		{"xmark", func() error { _, err := experiments.XMark(out, *scale, *parallelism); return err }},

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	xixad [-addr :4095] [-scale N] [-snapshot file] [-wal-dir dir]
-//	      [-sync always|batched|off] [-checkpoint-mb N]
+//	      [-sync always|batched|off] [-checkpoint-mb N] [-archive-dir dir]
+//	      [-replication-addr :4096] [-replica-of host:4096]
 //	      [-tune-interval 30s] [-budget-mb N] [-algorithm topdown-full]
 //	      [-demo N]
 //
@@ -18,6 +19,18 @@
 // graceful shutdown), and startup recovers the database, index
 // catalog, and captured workload from checkpoint + WAL tail — a crash
 // (kill -9 mid-burst) loses nothing that was committed.
+//
+// With -replication-addr (durable mode only), the daemon streams its
+// WAL to followers: each follower runs xixad with -replica-of pointing
+// here and its own -wal-dir, replays the stream continuously, and
+// serves read-only sessions. When the primary dies, \promote on a
+// follower truncates any half-streamed transaction frame, mints a new
+// epoch that fences the old primary if it comes back, and opens the
+// follower for writes (binding its own -replication-addr, if set, so
+// the remaining followers can re-point to it). -archive-dir preserves
+// checkpointed-away WAL segments and LSN-stamped checkpoints — the
+// retention that lets any follower catch up from any age and
+// server.RestoreToLSN rebuild the exact image at any committed LSN.
 //
 // With -snapshot (and no -wal-dir), the daemon restores the database
 // AND the materialized index catalog from the file at startup (warm
@@ -31,7 +44,8 @@
 //
 //	\indexes            list the materialized catalog with sizes
 //	\tune               run one advisor round on the captured workload
-//	\stats              session, server, and transaction counters
+//	\stats              session, server, transaction, and replication counters
+//	\promote            promote this follower to primary (fences the old one)
 //	\explain <stmt>     show the plan without executing
 //	\quit               close the connection
 //
@@ -54,6 +68,7 @@ import (
 	"time"
 
 	"xixa/internal/core"
+	"xixa/internal/replica"
 	"xixa/internal/server"
 	"xixa/internal/storage"
 	"xixa/internal/tpox"
@@ -69,6 +84,9 @@ func main() {
 	walDir := flag.String("wal-dir", "", "durability directory (WAL + checkpoints): recover on start, log every commit")
 	syncMode := flag.String("sync", "batched", "WAL sync policy: always (group commit per statement), batched (background fsync), off")
 	checkpointMB := flag.Int64("checkpoint-mb", 0, "auto-checkpoint once the WAL exceeds this size in MB (0 = 64)")
+	archiveDir := flag.String("archive-dir", "", "preserve checkpointed-away WAL segments and checkpoints here (enables deep follower catch-up and point-in-time restore)")
+	replAddr := flag.String("replication-addr", "", "stream the WAL to followers on this address (requires -wal-dir; on a follower, bound after \\promote)")
+	replicaOf := flag.String("replica-of", "", "start as a read-only follower of the primary at this address (requires -wal-dir)")
 	tuneEvery := flag.Duration("tune-interval", 30*time.Second, "autonomous tuning period (0 disables)")
 	budgetMB := flag.Int64("budget-mb", 0, "disk budget for materialized indexes in MB (0 = All-Index size)")
 	algorithm := flag.String("algorithm", core.AlgoTopDownFull, "advisor search algorithm")
@@ -82,10 +100,39 @@ func main() {
 		Algorithm:       *algorithm,
 		Parallelism:     *parallelism,
 		CheckpointBytes: *checkpointMB << 20,
+		ArchiveDir:      *archiveDir,
+	}
+	if *archiveDir != "" {
+		// Archiving preserves sealed segments; without rolling there is
+		// nothing to seal, so give the log a segment size.
+		cfg.SegmentBytes = 16 << 20
 	}
 
+	rs := &replState{addr: *replAddr}
 	var srv *server.Server
-	if *walDir != "" {
+	if *replicaOf != "" {
+		if *walDir == "" {
+			log.Fatalf("xixad: -replica-of requires -wal-dir (the follower's own durability directory)")
+		}
+		policy, err := wal.ParseSyncPolicy(*syncMode)
+		if err != nil {
+			log.Fatalf("xixad: %v", err)
+		}
+		cfg.SyncPolicy = policy
+		f, err := replica.StartFollower(replica.FollowerConfig{
+			PrimaryAddr: *replicaOf,
+			Dir:         *walDir,
+			Server:      cfg,
+		})
+		if err != nil {
+			log.Fatalf("xixad: follow %s: %v", *replicaOf, err)
+		}
+		rs.fol = f
+		srv = f.Server()
+		info := f.Info()
+		log.Printf("following %s from LSN %d (epoch %d); read-only until \\promote",
+			*replicaOf, info.AppliedLSN, info.Epoch)
+	} else if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*syncMode)
 		if err != nil {
 			log.Fatalf("xixad: %v", err)
@@ -121,7 +168,7 @@ func main() {
 		srv = server.New(db, cfg)
 	}
 
-	srv.StartAutoTune(func(rep *server.TuneReport, err error) {
+	rs.tuneLog = func(rep *server.TuneReport, err error) {
 		if err != nil {
 			log.Printf("tune: %v", err)
 			return
@@ -129,11 +176,32 @@ func main() {
 		if !rep.Skipped {
 			log.Print(rep)
 		}
-	})
+	}
+	if rs.fol == nil {
+		// Followers don't tune: their catalog converges by replaying the
+		// primary's index records. \promote starts the tuner.
+		srv.StartAutoTune(rs.tuneLog)
+	}
+
+	if *replAddr != "" && rs.fol == nil {
+		if srv.WAL() == nil {
+			log.Fatalf("xixad: -replication-addr requires -wal-dir (streaming replicates the WAL)")
+		}
+		p, err := replica.NewPrimary(srv, replica.PrimaryConfig{})
+		if err != nil {
+			log.Fatalf("xixad: %v", err)
+		}
+		bound, err := p.ListenAndServe(*replAddr)
+		if err != nil {
+			log.Fatalf("xixad: replication listen: %v", err)
+		}
+		rs.prim = p
+		log.Printf("streaming WAL to followers on %s (epoch %d)", bound, p.Epoch())
+	}
 
 	if *demo > 0 {
 		runDemo(srv, *demo)
-		shutdown(srv, *snapshot)
+		shutdown(rs, srv, *snapshot)
 		return
 	}
 
@@ -148,7 +216,7 @@ func main() {
 		log.Printf("no listen address; running headless (tune every %v)", *tuneEvery)
 		<-sigc
 		log.Print("shutting down")
-		shutdown(srv, *snapshot)
+		shutdown(rs, srv, *snapshot)
 		return
 	}
 
@@ -173,14 +241,49 @@ func main() {
 		conns.Add(1)
 		go func() {
 			defer conns.Done()
-			serveConn(srv, conn)
+			serveConn(rs, srv, conn)
 		}()
 	}
 	conns.Wait()
-	shutdown(srv, *snapshot)
+	shutdown(rs, srv, *snapshot)
 }
 
-func shutdown(srv *server.Server, snapshot string) {
+// replState tracks the daemon's replication role: primary (streaming
+// the WAL to followers), follower (promotable via \promote), or
+// neither. A follower that promotes becomes a primary in place.
+type replState struct {
+	addr    string // -replication-addr; a follower binds it at promotion
+	tuneLog func(*server.TuneReport, error)
+
+	mu       sync.Mutex
+	prim     *replica.Primary
+	fol      *replica.Follower
+	promoted bool
+}
+
+func (rs *replState) primary() *replica.Primary {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.prim
+}
+
+func (rs *replState) follower() (*replica.Follower, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.fol, rs.promoted
+}
+
+func shutdown(rs *replState, srv *server.Server, snapshot string) {
+	if p := rs.primary(); p != nil {
+		p.Close()
+	}
+	if f, promoted := rs.follower(); f != nil && !promoted {
+		// A live follower's applier owns the database; stop the stream
+		// and the server together, no shutdown checkpoint (the next
+		// start replays or re-streams the tail).
+		f.Close()
+		return
+	}
 	if srv.WAL() != nil {
 		// Durable mode: a shutdown checkpoint empties the WAL so the
 		// next start replays nothing. (Skipping it would be correct
@@ -200,7 +303,7 @@ func shutdown(srv *server.Server, snapshot string) {
 	srv.Close()
 }
 
-func serveConn(srv *server.Server, conn net.Conn) {
+func serveConn(rs *replState, srv *server.Server, conn net.Conn) {
 	defer conn.Close()
 	sess, err := srv.NewSession()
 	if err != nil {
@@ -223,12 +326,12 @@ func serveConn(srv *server.Server, conn net.Conn) {
 			out.Flush()
 			return
 		}
-		handleLine(srv, sess, out, line)
+		handleLine(rs, srv, sess, out, line)
 		out.Flush()
 	}
 }
 
-func handleLine(srv *server.Server, sess *server.Session, out *bufio.Writer, line string) {
+func handleLine(rs *replState, srv *server.Server, sess *server.Session, out *bufio.Writer, line string) {
 	switch {
 	case line == `\indexes`:
 		for _, def := range srv.Catalog().Definitions() {
@@ -255,7 +358,61 @@ func handleLine(srv *server.Server, sess *server.Session, out *bufio.Writer, lin
 		txn := srv.TxnStats()
 		fmt.Fprintf(out, "| txns: %d committed, %d aborted, %d write-write conflicts\n",
 			txn.Commits, txn.Aborts, txn.Conflicts)
+		if p := rs.primary(); p != nil {
+			followers := p.Status()
+			fmt.Fprintf(out, "| replication: primary at epoch %d, %d followers\n", p.Epoch(), len(followers))
+			for _, fs := range followers {
+				fmt.Fprintf(out, "| replication follower %s: streamed LSN %d, acked %d, lag %d records\n",
+					fs.Addr, fs.StreamedLSN, fs.AckedLSN, fs.LagRecords)
+			}
+		}
+		if f, promoted := rs.follower(); f != nil && !promoted {
+			info := f.Info()
+			state := "disconnected"
+			if info.Connected {
+				state = "connected"
+			}
+			fmt.Fprintf(out, "| replication: following at epoch %d, applied LSN %d, primary tip %d, lag %d records, %s (%d reconnects)\n",
+				info.Epoch, info.AppliedLSN, info.PrimaryFlushedLSN, info.LagRecords, state, info.Reconnects)
+		}
 		fmt.Fprintln(out, "OK")
+	case line == `\promote`:
+		rs.mu.Lock()
+		f, promoted := rs.fol, rs.promoted
+		rs.mu.Unlock()
+		if f == nil || promoted {
+			fmt.Fprintln(out, "ERR not a follower")
+			return
+		}
+		epoch, err := f.Promote()
+		if err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			return
+		}
+		rs.mu.Lock()
+		rs.promoted = true
+		rs.mu.Unlock()
+		srv.StartAutoTune(rs.tuneLog)
+		bound := ""
+		if rs.addr != "" {
+			p, perr := replica.NewPrimary(srv, replica.PrimaryConfig{})
+			if perr == nil {
+				bound, perr = p.ListenAndServe(rs.addr)
+			}
+			if perr != nil {
+				fmt.Fprintf(out, "ERR promoted at epoch %d but replication listen failed: %v\n", epoch, perr)
+				return
+			}
+			rs.mu.Lock()
+			rs.prim = p
+			rs.mu.Unlock()
+		}
+		log.Printf("promoted to primary at epoch %d (log at LSN %d)", epoch, srv.WAL().LastLSN())
+		if bound != "" {
+			fmt.Fprintf(out, "OK promoted at epoch %d, streaming to followers on %s\n", epoch, bound)
+			return
+		}
+		fmt.Fprintf(out, "OK promoted at epoch %d\n", epoch)
 	case strings.HasPrefix(line, `\explain `):
 		plan, err := sess.Explain(strings.TrimPrefix(line, `\explain `))
 		if err != nil {

@@ -98,6 +98,25 @@
 // online, and restores a database bit-identical to the committed
 // pre-crash state.
 //
+// # Replication and point-in-time restore
+//
+// internal/replica ships the WAL over the network (xixad
+// -replication-addr / -replica-of): a primary streams CRC-framed
+// records to any number of followers, each a live read-only server
+// replaying the stream through the same applier that drives crash
+// recovery, appending records verbatim so follower logs are
+// byte-comparable to the primary's. A desynced stream — severed,
+// corrupted — dies on the frame CRC and reconnects with jittered
+// backoff from the follower's tip; LSN continuity makes redelivery
+// idempotent, so no fault short of disk loss loses or duplicates a
+// record. When the primary dies, promotion (\promote) truncates any
+// transaction frame streamed without its commit record, mints a
+// durable epoch that permanently fences the old primary if it
+// returns, and opens the follower for writes. With an archive
+// directory, checkpoints preserve WAL segments and LSN-stamped
+// snapshots instead of deleting them, and server.RestoreToLSN
+// rebuilds the exact committed image at any LSN in history.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for regenerating the paper's evaluation.
 package xixa

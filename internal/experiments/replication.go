@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"xixa/internal/persist"
+	"xixa/internal/replica"
+	"xixa/internal/replica/faultnet"
+	"xixa/internal/server"
+	"xixa/internal/storage"
+	"xixa/internal/tpox"
+	"xixa/internal/wal"
+	"xixa/internal/xmltree"
+)
+
+// ReplicaFailoverResult summarizes the failover scenario for tests and
+// the CI smoke step.
+type ReplicaFailoverResult struct {
+	Committed     int    // mutating statements committed on the primary
+	CommittedLSN  uint64 // the committed prefix the promoted replica must equal
+	PromotedEpoch uint64 // epoch minted by the promotion
+	Reconnects    uint64 // stream re-establishments under injected severs
+	Truncated     bool   // the dead primary's open frame was truncated
+}
+
+// ReplicaFailover runs the replication story end to end on a real TPoX
+// database: a WAL-backed primary streams to a follower over loopback
+// through a fault-injecting dialer that severs the first few stream
+// connections mid-flight, 8 concurrent writers commit a burst while a
+// tuning round ships index builds through the log, the primary then
+// dies mid-transaction — its last act a transaction frame streamed
+// without a commit record — and the follower is promoted. The scenario
+// fails unless the promoted server is bit-identical to the primary's
+// committed prefix (database bytes, catalog, every TPoX query's
+// results), the dead primary's open frame is truncated, writes land on
+// the new primary at the next LSN, and an independent point-in-time
+// restore of the dead primary's directory agrees with all of it.
+func ReplicaFailover(w io.Writer, scale int) (*ReplicaFailoverResult, error) {
+	pdir, err := os.MkdirTemp("", "xixa-failover-primary")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(pdir)
+	fdir, err := os.MkdirTemp("", "xixa-failover-follower")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(fdir)
+	res := &ReplicaFailoverResult{}
+
+	fmt.Fprintf(w, "Replica failover (scale %d, 8 writers, severed streams, kill primary mid-frame, promote)\n", scale)
+
+	pcfg := server.Config{WALDir: pdir, SyncPolicy: wal.SyncBatched, BuildAfter: 1, DropAfter: 10}
+	srv, _, err := server.Recover(pcfg, func() (*storage.Database, error) {
+		return tpox.NewDatabase(scale)
+	})
+	if err != nil {
+		return nil, err
+	}
+	prim, err := replica.NewPrimary(srv, replica.PrimaryConfig{Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := prim.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	// The follower dials through a fault plan: a clean pass for the
+	// bootstrap handshake, then three connections severed after a
+	// random byte budget — every cut lands mid-stream and the
+	// reconnect must resume with no record lost or applied twice —
+	// then a clean line for the rest of the run.
+	severs := faultnet.RandomSevers(0x0FA110, 1<<10, 8<<10, 1)
+	f, err := replica.StartFollower(replica.FollowerConfig{
+		PrimaryAddr: addr,
+		Dir:         fdir,
+		Server:      server.Config{SyncPolicy: wal.SyncBatched, BuildAfter: 1, DropAfter: 10},
+		Dial: faultnet.Dialer(func(i int) faultnet.Plan {
+			if i > 3 {
+				return faultnet.Plan{}
+			}
+			return severs(i)
+		}),
+		ReconnectBase: 5 * time.Millisecond,
+		ReconnectMax:  100 * time.Millisecond,
+		StaleAfter:    2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Queries capture a workload and a tuning round materializes its
+	// indexes, so index-create records flow down the stream and the
+	// follower's catalog must converge too.
+	sess, err := srv.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	queries := tpox.Queries()
+	for i := 0; i < 2*len(queries); i++ {
+		if _, err := sess.Execute(queries[i%len(queries)]); err != nil {
+			return nil, fmt.Errorf("warmup query: %w", err)
+		}
+	}
+	rep, err := srv.TuneOnce()
+	if err != nil {
+		return nil, err
+	}
+
+	// The burst: 8 concurrent writers, every statement committed
+	// through the WAL and streamed live.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errCh := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ws, err := srv.NewSession()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer ws.Close()
+			n := 0
+			for i := 0; i < 20; i++ {
+				sym := fmt.Sprintf("FLV%d%03d", c, i)
+				_, err := ws.Execute(fmt.Sprintf(`insert into SECURITY value <Security><Symbol>%s</Symbol><Yield>%d.%d</Yield><SecInfo><StockInformation><Sector>Failover</Sector></StockInformation></SecInfo></Security>`, sym, i%12, i%10))
+				if err == server.ErrOverloaded {
+					continue // shed by admission control: not committed
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("writer %d: %w", c, err)
+					return
+				}
+				n++
+			}
+			mu.Lock()
+			res.Committed += n
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	// The committed pre-crash truth.
+	wantDB, err := snapshotBytes(srv)
+	if err != nil {
+		return nil, err
+	}
+	wantDefs := srv.Catalog().Definitions()
+	wantResults, err := queryFingerprints(srv, queries)
+	if err != nil {
+		return nil, err
+	}
+	res.CommittedLSN = srv.WAL().LastLSN()
+
+	// The primary's last act: a transaction frame appended and synced
+	// but never committed — the stream carries it to the follower,
+	// where promotion must truncate it.
+	orphan := xmltree.NewBuilder().Begin("Security").
+		Leaf("Symbol", "FLVLOST").
+		LeafFloat("Yield", 1.5).
+		Begin("SecInfo").Begin("StockInformation").
+		Leaf("Sector", "Orphaned").
+		End().End().
+		End().Document()
+	ins, err := wal.EncodeDocInsert("SECURITY", orphan)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := srv.WAL().AppendTxn([][]byte{wal.EncodeTxnBegin(9001), ins}); err != nil {
+		return nil, err
+	}
+	if err := srv.WAL().Sync(); err != nil {
+		return nil, err
+	}
+	openTip := res.CommittedLSN + 2
+
+	// Wait for the follower to consume everything, including the open
+	// frame, across however many severed connections the plan dealt.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		info := f.Info()
+		if info.AppliedLSN >= openTip {
+			res.Reconnects = info.Reconnects
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("follower stuck at LSN %d of %d (reconnects %d, err %v)",
+				info.AppliedLSN, openTip, info.Reconnects, info.Err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the primary: the replication listener dies with it, no
+	// graceful server Close — exactly the state SIGKILL leaves behind.
+	prim.Close()
+
+	// Promote. The open frame's commit record never arrived, so its
+	// effects were never visible anywhere; promotion truncates it off
+	// the log before opening for writes under a new epoch.
+	epoch, err := f.Promote()
+	if err != nil {
+		return nil, err
+	}
+	res.PromotedEpoch = epoch
+	newPrim := f.Server()
+	if got := newPrim.WAL().LastLSN(); got != res.CommittedLSN {
+		return nil, fmt.Errorf("promotion left the log at LSN %d, want committed prefix %d", got, res.CommittedLSN)
+	}
+	res.Truncated = true
+	if err := verifyIdentical(newPrim, wantDB, wantDefs, queries, wantResults); err != nil {
+		return nil, fmt.Errorf("promoted replica: %w", err)
+	}
+	fmt.Fprintf(w, "  tuned %d indexes, committed %d statements; stream survived %d reconnects\n",
+		len(rep.Built), res.Committed, res.Reconnects)
+	fmt.Fprintf(w, "  primary killed mid-frame at LSN %d; promoted at epoch %d, open frame truncated to LSN %d\n",
+		openTip, epoch, res.CommittedLSN)
+	fmt.Fprintf(w, "  verified: promoted replica bit-identical to the committed prefix (database, catalog, %d query result sets)\n",
+		len(queries))
+
+	// Writes flow on the new primary, at exactly the next LSN.
+	psess, err := newPrim.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := psess.Execute(`insert into SECURITY value <Security><Symbol>AFTERFLV</Symbol><Yield>2.5</Yield></Security>`); err != nil {
+		return nil, fmt.Errorf("write after promotion: %w", err)
+	}
+	if got := newPrim.WAL().LastLSN(); got <= res.CommittedLSN {
+		return nil, fmt.Errorf("post-promotion write did not reach the log (LSN %d)", got)
+	}
+	newPrim.Close()
+
+	// Independent oracle: point-in-time restore of the dead primary's
+	// directory at the committed LSN must reproduce the same image the
+	// promoted replica served.
+	restored, err := server.RestoreToLSN(pdir, "", res.CommittedLSN)
+	if err != nil {
+		return nil, fmt.Errorf("restore oracle: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := persist.SaveDatabase(&buf, restored.DB, restored.Defs); err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(buf.Bytes(), wantDB) {
+		return nil, fmt.Errorf("restore of the dead primary at LSN %d disagrees with the promoted replica", res.CommittedLSN)
+	}
+	if restored.LSN != res.CommittedLSN {
+		return nil, fmt.Errorf("restore landed at LSN %d, want %d", restored.LSN, res.CommittedLSN)
+	}
+	fmt.Fprintf(w, "  oracle: RestoreToLSN over the dead primary's directory reproduces the identical image\n")
+	fmt.Fprintf(w, "zero committed-statement loss across the failover.\n")
+	return res, nil
+}
+
+// RestoreLSNResult summarizes the point-in-time-restore scenario.
+type RestoreLSNResult struct {
+	Points      int    // committed positions verified bit-identical
+	TipLSN      uint64 // the log's final committed LSN
+	Checkpoints int    // checkpoints taken (history crosses them)
+}
+
+// RestoreLSN drives point-in-time restore over real history: an
+// archive-enabled TPoX server commits inserts and an explicit
+// multi-operation transaction while checkpoints truncate the live log
+// (archiving the sealed segments and LSN-stamped checkpoint copies),
+// recording the serialized image at a spread of committed LSNs. After
+// a graceful shutdown every recorded position is restored and must be
+// bit-identical; a target inside the transaction frame must land just
+// before the frame; a target beyond history must fail loudly.
+func RestoreLSN(w io.Writer, scale int) (*RestoreLSNResult, error) {
+	dir, err := os.MkdirTemp("", "xixa-restore-lsn")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	archive, err := os.MkdirTemp("", "xixa-restore-archive")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(archive)
+	res := &RestoreLSNResult{}
+
+	fmt.Fprintf(w, "Point-in-time restore (scale %d, archived WAL segments + checkpoints, restore at every sampled LSN)\n", scale)
+
+	cfg := server.Config{
+		WALDir: dir, ArchiveDir: archive, SegmentBytes: 8 << 10,
+		SyncPolicy: wal.SyncBatched, BuildAfter: 1, DropAfter: 10,
+	}
+	srv, _, err := server.Recover(cfg, func() (*storage.Database, error) {
+		return tpox.NewDatabase(scale)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type point struct {
+		lsn  uint64
+		snap []byte
+	}
+	var points []point
+	record := func() error {
+		snap, err := snapshotBytes(srv)
+		if err != nil {
+			return err
+		}
+		points = append(points, point{lsn: srv.WAL().LastLSN(), snap: snap})
+		return nil
+	}
+
+	sess, err := srv.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	// Three rounds of inserts with a checkpoint between rounds: the
+	// checkpoints truncate the live log, so the earlier restore points
+	// are only reachable through the archive.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 12; i++ {
+			sym := fmt.Sprintf("PIT%d%03d", round, i)
+			if _, err := sess.Execute(fmt.Sprintf(`insert into SECURITY value <Security><Symbol>%s</Symbol><Yield>%d.%d</Yield><SecInfo><StockInformation><Sector>Restored</Sector></StockInformation></SecInfo></Security>`, sym, i%9, i%10)); err != nil {
+				return nil, err
+			}
+			if i%4 == 0 {
+				if err := record(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := srv.Checkpoint(); err != nil {
+			return nil, err
+		}
+		res.Checkpoints++
+	}
+
+	// An explicit multi-operation transaction: one frame, one commit.
+	// A restore target inside the frame must land on preFrame.
+	if err := record(); err != nil {
+		return nil, err
+	}
+	preFrame := points[len(points)-1]
+	tx, err := sess.Begin()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := tx.Execute(fmt.Sprintf(`insert into SECURITY value <Security><Symbol>PITTX%d</Symbol><Yield>%d.5</Yield></Security>`, i, i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	if err := record(); err != nil {
+		return nil, err
+	}
+	res.TipLSN = srv.WAL().LastLSN()
+	srv.Close()
+
+	for _, pt := range points {
+		r, err := server.RestoreToLSN(dir, archive, pt.lsn)
+		if err != nil {
+			return nil, fmt.Errorf("restore at LSN %d: %w", pt.lsn, err)
+		}
+		if r.LSN != pt.lsn {
+			return nil, fmt.Errorf("restore at LSN %d landed at %d", pt.lsn, r.LSN)
+		}
+		var buf bytes.Buffer
+		if err := persist.SaveDatabase(&buf, r.DB, r.Defs); err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(buf.Bytes(), pt.snap) {
+			return nil, fmt.Errorf("restore at LSN %d is not bit-identical to the image committed there", pt.lsn)
+		}
+		res.Points++
+	}
+	fmt.Fprintf(w, "  %d restore points across %d checkpoints verified bit-identical (archive reached back past every truncation)\n",
+		res.Points, res.Checkpoints)
+
+	// A target inside the transaction frame: the frame commits at the
+	// tip, so tip-1 is mid-frame and must restore to just before it.
+	mid, err := server.RestoreToLSN(dir, archive, res.TipLSN-1)
+	if err != nil {
+		return nil, err
+	}
+	if mid.LSN != preFrame.lsn {
+		return nil, fmt.Errorf("mid-frame restore landed at LSN %d, want pre-frame %d", mid.LSN, preFrame.lsn)
+	}
+	var buf bytes.Buffer
+	if err := persist.SaveDatabase(&buf, mid.DB, mid.Defs); err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(buf.Bytes(), preFrame.snap) {
+		return nil, fmt.Errorf("mid-frame restore diverges from the pre-frame image")
+	}
+	fmt.Fprintf(w, "  mid-frame target %d restored to pre-frame LSN %d (uncommitted operations excluded)\n",
+		res.TipLSN-1, preFrame.lsn)
+
+	if _, err := server.RestoreToLSN(dir, archive, res.TipLSN+1000); err == nil {
+		return nil, fmt.Errorf("restore beyond history succeeded; want a loud error")
+	}
+	fmt.Fprintf(w, "  target beyond history refused loudly\n")
+	fmt.Fprintf(w, "every sampled position reproduced exactly.\n")
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package replica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The epoch file sits next to the WAL in the durability directory and
+// records the highest primary epoch this node has witnessed. Epochs
+// only grow: a promotion persists maxSeen+1 before the node accepts
+// its first write, so even after a crash the promoted node presents an
+// epoch every surviving zombie must yield to.
+const epochFile = "epoch"
+
+// LoadEpoch reads the witnessed epoch from dir (0 if none recorded).
+func LoadEpoch(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: corrupt epoch file: %w", err)
+	}
+	return e, nil
+}
+
+// StoreEpoch durably records a witnessed epoch (atomic rename + fsync)
+// if it is higher than what dir already holds; regressions are
+// silently ignored — an epoch, once witnessed, is never unlearned.
+func StoreEpoch(dir string, epoch uint64) error {
+	if cur, err := LoadEpoch(dir); err == nil && cur >= epoch {
+		return nil
+	}
+	path := filepath.Join(dir, epochFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", epoch); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,565 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xixa/internal/server"
+	"xixa/internal/wal"
+	"xixa/internal/xindex"
+)
+
+var (
+	// ErrTooStale reports a follower whose local history fell behind
+	// the primary's retained WAL while its server was already live; it
+	// must be restarted to take the snapshot bootstrap path. With a WAL
+	// archive configured on the primary this cannot happen.
+	ErrTooStale = errors.New("replica: follower too stale for the primary's retained history")
+	// ErrPromoted reports an operation on a follower already promoted.
+	ErrPromoted = errors.New("replica: follower already promoted")
+)
+
+// FollowerConfig configures StartFollower.
+type FollowerConfig struct {
+	// PrimaryAddr is the primary's replication listener.
+	PrimaryAddr string
+	// Dir is this follower's durability directory.
+	Dir string
+	// Server seeds the replica server's configuration (sync policy,
+	// capacities, segment size, archive). WALDir and Replica are
+	// overridden.
+	Server server.Config
+	// Dial, when set, replaces net.Dial — the fault-injection hook.
+	Dial func(addr string) (net.Conn, error)
+	// ReconnectBase/ReconnectMax bound the full-jitter exponential
+	// backoff between reconnect attempts (defaults 50ms / 2s).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// StaleAfter is how long the stream may stay silent before the
+	// follower declares the connection dead and reconnects; it is also
+	// the dial and handshake timeout (default 3s; keep it a few
+	// multiples of the primary's heartbeat).
+	StaleAfter time.Duration
+	// AckEvery is how many records may apply between fsync+ack rounds
+	// while the stream is busy (default 256); heartbeats force a round
+	// when idle.
+	AckEvery int
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	if c.ReconnectBase <= 0 {
+		c.ReconnectBase = 50 * time.Millisecond
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = 2 * time.Second
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 3 * time.Second
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 256
+	}
+	if c.Dial == nil {
+		stale := c.StaleAfter
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, stale)
+		}
+	}
+	return c
+}
+
+// Follower is a replica node: a read-only server continuously fed by
+// the primary's WAL stream, promotable to primary when the primary
+// dies.
+type Follower struct {
+	cfg     FollowerConfig
+	srv     *server.Server
+	applier *server.Applier
+
+	epoch          atomic.Uint64
+	applied        atomic.Uint64 // last LSN consumed (incl. open-frame records)
+	primaryFlushed atomic.Uint64 // primary's flushed tip, from records + heartbeats
+	lastContact    atomic.Int64  // unix nanos of the last frame received
+	reconnects     atomic.Uint64
+	connected      atomic.Bool
+	promoted       atomic.Bool
+
+	mu      sync.Mutex
+	conn    net.Conn // live connection, closed by stopLoop to unblock reads
+	lastErr error
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// FollowerInfo is a follower's replication position and health.
+type FollowerInfo struct {
+	// Epoch is the highest primary epoch witnessed.
+	Epoch uint64
+	// AppliedLSN is the last record consumed; DurableLSN the last
+	// fsynced locally; PrimaryFlushedLSN the primary's tip as last
+	// heard. LagRecords = PrimaryFlushedLSN - AppliedLSN.
+	AppliedLSN        uint64
+	DurableLSN        uint64
+	PrimaryFlushedLSN uint64
+	LagRecords        uint64
+	// LastContact is when the stream last produced a frame; Connected
+	// whether a stream is up right now; Reconnects how many times the
+	// stream has been re-established.
+	LastContact time.Time
+	Connected   bool
+	Reconnects  uint64
+	// Err is the most recent stream error (nil while healthy).
+	Err error
+}
+
+// StartFollower opens (or resumes) a replica in cfg.Dir following the
+// primary at cfg.PrimaryAddr. If the local position predates the
+// primary's retained history, the primary's checkpoint is adopted
+// before recovery (snapshot bootstrap). The returned follower owns its
+// server: Close stops both, Promote upgrades the server in place.
+//
+// A dial failure at start is not fatal — the follower recovers its
+// local state, serves reads, and keeps reconnecting with backoff; a
+// follower must outlive its primary to be worth anything.
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" || cfg.PrimaryAddr == "" {
+		return nil, errors.New("replica: FollowerConfig requires Dir and PrimaryAddr")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	epoch, err := LoadEpoch(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := bootstrapSnapshot(cfg, epoch); err != nil {
+		return nil, err
+	}
+
+	scfg := cfg.Server
+	scfg.WALDir = cfg.Dir
+	scfg.Replica = true
+	srv, _, err := server.Recover(scfg, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Follower{
+		cfg:  cfg,
+		srv:  srv,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	f.epoch.Store(epoch)
+	f.applied.Store(srv.WAL().LastLSN())
+	f.primaryFlushed.Store(srv.WAL().LastLSN())
+	f.applier = server.NewApplier(srv.DB(), srv.Catalog().Definitions(), srv.WAL().LastLSN())
+	f.applier.SetIndexHook(func(create bool, def xindex.Definition) error {
+		if create {
+			_, err := srv.Manager().EnsureBuilt(def)
+			return err
+		}
+		srv.Manager().DropDeferred(def)
+		return nil
+	})
+	go f.loop()
+	return f, nil
+}
+
+// bootstrapSnapshot is the pre-recovery handshake: peek the local WAL
+// position, ask the primary whether that position still chains onto
+// its retained history, and if not adopt the primary's checkpoint.
+// The adopted checkpoint lands as the local checkpoint file; Recover's
+// existing checkpoint-outruns-log path then advances the log past the
+// stamp, so the stream resumes exactly at the snapshot boundary.
+func bootstrapSnapshot(cfg FollowerConfig, epoch uint64) error {
+	lastLSN := uint64(0)
+	walPath := server.WALPath(cfg.Dir)
+	segs, err := wal.ListSegmentFiles(cfg.Dir, filepath.Base(walPath))
+	if err != nil {
+		return err
+	}
+	hasWAL := len(segs) > 0
+	if _, serr := os.Stat(walPath); serr == nil {
+		hasWAL = true
+	}
+	if hasWAL {
+		l, scanned, oerr := wal.Open(walPath, wal.Options{
+			Policy:       wal.SyncOff,
+			SegmentBytes: cfg.Server.SegmentBytes,
+			ArchiveDir:   cfg.Server.ArchiveDir,
+		})
+		if oerr != nil {
+			return oerr
+		}
+		lastLSN = l.LastLSN()
+		// Present the committed prefix, not the raw tip: if the log
+		// ends inside an unterminated transaction frame (the dead
+		// primary's last gasp, streamed but never committed), Recover
+		// will truncate that frame before the stream resumes — and a
+		// new primary, which truncated the same frame at promotion,
+		// would refuse the raw tip as divergent history.
+		if n := len(scanned.Records); n > 0 {
+			prev := scanned.Records[0].LSN - 1
+			open, inTxn := uint64(0), false
+			for _, r := range scanned.Records {
+				switch r.Kind {
+				case wal.RecTxnBegin:
+					inTxn, open = true, prev
+				case wal.RecTxnCommit:
+					inTxn = false
+				}
+				prev = r.LSN
+			}
+			if inTxn {
+				lastLSN = open
+			}
+		}
+		l.Close()
+	}
+	// Fresh means no durable state at all: a node that has never held
+	// a checkpoint cannot reconstruct the primary's bootstrap image
+	// (which predates LSN 1) from records, so it must ask for one.
+	fresh := byte(0)
+	if _, serr := os.Stat(server.CheckpointPath(cfg.Dir)); os.IsNotExist(serr) && !hasWAL {
+		fresh = 1
+	}
+
+	conn, err := cfg.Dial(cfg.PrimaryAddr)
+	if err != nil {
+		return nil // primary unreachable: recover locally, reconnect later
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(cfg.StaleAfter))
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, msgHello, append(u64Pair(epoch, lastLSN), fresh)); err != nil {
+		return nil
+	}
+	if err := bw.Flush(); err != nil {
+		return nil
+	}
+	t, body, err := readFrame(br)
+	if err != nil {
+		return nil
+	}
+	switch t {
+	case msgError:
+		return fmt.Errorf("replica: primary refused bootstrap: %s", body)
+	case msgWelcome:
+	default:
+		return fmt.Errorf("replica: unexpected %d frame in bootstrap handshake", t)
+	}
+	if len(body) < 9 {
+		return errors.New("replica: short welcome frame")
+	}
+	wepoch, _ := readU64(body)
+	if wepoch > epoch {
+		if err := StoreEpoch(cfg.Dir, wepoch); err != nil {
+			return err
+		}
+	}
+	if body[8] == 0 {
+		return nil // position chains; no snapshot needed
+	}
+	t, body, err = readFrame(br)
+	if err != nil || t != msgSnapshot {
+		return fmt.Errorf("replica: snapshot frame missing after welcome (err %v)", err)
+	}
+	snapLSN, raw, err := lsnPayload(body)
+	if err != nil {
+		return err
+	}
+	dst := server.CheckpointPath(cfg.Dir)
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	_ = snapLSN // the checkpoint carries its own stamp; Recover reads it
+	return nil
+}
+
+// Server returns the follower's (read-only until promoted) server.
+func (f *Follower) Server() *server.Server { return f.srv }
+
+// Info reports the follower's position and health.
+func (f *Follower) Info() FollowerInfo {
+	applied := f.applied.Load()
+	tip := f.primaryFlushed.Load()
+	lag := uint64(0)
+	if tip > applied {
+		lag = tip - applied
+	}
+	f.mu.Lock()
+	err := f.lastErr
+	f.mu.Unlock()
+	return FollowerInfo{
+		Epoch:             f.epoch.Load(),
+		AppliedLSN:        applied,
+		DurableLSN:        f.srv.WAL().DurableLSN(),
+		PrimaryFlushedLSN: tip,
+		LagRecords:        lag,
+		LastContact:       time.Unix(0, f.lastContact.Load()),
+		Connected:         f.connected.Load(),
+		Reconnects:        f.reconnects.Load(),
+		Err:               err,
+	}
+}
+
+// CheckFresh bounds read staleness: it returns ErrTooStale when the
+// follower has not heard from the primary within maxSilence AND is not
+// caught up to the last tip it heard — silence while caught up just
+// means an idle primary.
+func (f *Follower) CheckFresh(maxSilence time.Duration) error {
+	if f.applied.Load() >= f.primaryFlushed.Load() && f.connected.Load() {
+		return nil
+	}
+	last := time.Unix(0, f.lastContact.Load())
+	if time.Since(last) > maxSilence {
+		return ErrTooStale
+	}
+	return nil
+}
+
+// Promote upgrades the follower to primary: the stream stops, any
+// transaction frame the dead primary left unterminated is truncated
+// off the log (its commit record never arrived — those effects were
+// never visible anywhere and must not survive into the new history),
+// a new epoch = maxWitnessed+1 is durably recorded, and the server
+// opens for writes. Returns the new epoch; a subsequent NewPrimary on
+// this server presents it to fence any zombie.
+func (f *Follower) Promote() (uint64, error) {
+	if !f.promoted.CompareAndSwap(false, true) {
+		return 0, ErrPromoted
+	}
+	f.stopLoop()
+	if f.applier.FrameOpen() {
+		if err := f.srv.WAL().TruncateTail(f.applier.CommittedLSN()); err != nil {
+			return 0, err
+		}
+		f.applied.Store(f.applier.CommittedLSN())
+	}
+	epoch := f.epoch.Load() + 1
+	if err := StoreEpoch(f.cfg.Dir, epoch); err != nil {
+		return 0, err
+	}
+	f.epoch.Store(epoch)
+	f.srv.Promote()
+	return epoch, nil
+}
+
+// Close stops the stream and shuts the server down. After a Promote,
+// Close only stops the (already stopped) stream machinery — the caller
+// owns the now-primary server.
+func (f *Follower) Close() {
+	f.stopLoop()
+	if !f.promoted.Load() {
+		f.srv.Close()
+	}
+}
+
+func (f *Follower) stopLoop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.mu.Lock()
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+func (f *Follower) stopped() bool {
+	select {
+	case <-f.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// loop reconnects forever with full-jitter exponential backoff,
+// resetting the backoff whenever a connection makes progress.
+func (f *Follower) loop() {
+	defer close(f.done)
+	attempt := 0
+	for {
+		if f.stopped() {
+			return
+		}
+		progressed, err := f.streamOnce()
+		if f.stopped() {
+			return
+		}
+		f.connected.Store(false)
+		f.setErr(err)
+		f.reconnects.Add(1)
+		if progressed {
+			attempt = 0
+		} else {
+			attempt++
+		}
+		ceil := f.cfg.ReconnectBase << uint(min(attempt, 20))
+		if ceil > f.cfg.ReconnectMax || ceil <= 0 {
+			ceil = f.cfg.ReconnectMax
+		}
+		delay := time.Duration(rand.Int63n(int64(ceil))) + 1
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// streamOnce runs one connection to exhaustion: handshake from the
+// local log's tip, then append-apply-ack until the stream breaks.
+// progressed reports whether at least one record landed — the
+// backoff-reset signal.
+func (f *Follower) streamOnce() (progressed bool, err error) {
+	conn, err := f.cfg.Dial(f.cfg.PrimaryAddr)
+	if err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	f.conn = conn
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		conn.Close()
+	}()
+
+	l := f.srv.WAL()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	conn.SetDeadline(time.Now().Add(f.cfg.StaleAfter))
+	if err := writeFrame(bw, msgHello, u64Pair(f.epoch.Load(), l.LastLSN())); err != nil {
+		return false, err
+	}
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
+	t, body, err := readFrame(br)
+	if err != nil {
+		return false, err
+	}
+	if t == msgError {
+		return false, fmt.Errorf("replica: primary refused: %s", body)
+	}
+	if t != msgWelcome || len(body) < 9 {
+		return false, fmt.Errorf("replica: bad welcome frame")
+	}
+	wepoch, _ := readU64(body)
+	known := f.epoch.Load()
+	if wepoch < known {
+		return false, fmt.Errorf("replica: zombie primary at epoch %d (witnessed %d)", wepoch, known)
+	}
+	if wepoch > known {
+		if err := StoreEpoch(f.cfg.Dir, wepoch); err != nil {
+			return false, err
+		}
+		f.epoch.Store(wepoch)
+	}
+	if body[8] != 0 {
+		// A snapshot mid-life means our history no longer chains — the
+		// primary checkpointed past us without an archive. The live
+		// server cannot swallow a whole new image; restart to bootstrap.
+		return false, ErrTooStale
+	}
+	f.connected.Store(true)
+	f.lastContact.Store(time.Now().UnixNano())
+
+	pending := 0
+	syncAck := func() error {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+		pending = 0
+		conn.SetWriteDeadline(time.Now().Add(f.cfg.StaleAfter))
+		if err := writeFrame(bw, msgAck, u64Body(l.DurableLSN())); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.cfg.StaleAfter))
+		t, body, rerr := readFrame(br)
+		if rerr != nil {
+			if pending > 0 {
+				syncAck()
+			}
+			return progressed, rerr
+		}
+		f.lastContact.Store(time.Now().UnixNano())
+		switch t {
+		case msgRecord:
+			lsn, payload, perr := lsnPayload(body)
+			if perr != nil {
+				return progressed, perr
+			}
+			last := l.LastLSN()
+			if lsn <= last {
+				continue // redelivery after reconnect; already have it
+			}
+			if lsn != last+1 {
+				return progressed, fmt.Errorf("replica: stream gap: got LSN %d after %d", lsn, last)
+			}
+			if err := l.AppendRaw(lsn, payload); err != nil {
+				return progressed, err
+			}
+			rec, derr := wal.DecodePayload(lsn, payload)
+			if derr != nil {
+				return progressed, derr
+			}
+			if err := f.applier.Apply(rec); err != nil {
+				// An apply failure is data divergence, not a network
+				// blip; surface loudly and stop consuming.
+				f.setErr(err)
+				return progressed, err
+			}
+			f.applied.Store(lsn)
+			if lsn > f.primaryFlushed.Load() {
+				f.primaryFlushed.Store(lsn)
+			}
+			progressed = true
+			pending++
+			if pending >= f.cfg.AckEvery {
+				if err := syncAck(); err != nil {
+					return progressed, err
+				}
+			}
+		case msgHeartbeat:
+			if tip, herr := readU64(body); herr == nil && tip > f.primaryFlushed.Load() {
+				f.primaryFlushed.Store(tip)
+			}
+			if err := syncAck(); err != nil {
+				return progressed, err
+			}
+		case msgError:
+			return progressed, fmt.Errorf("replica: primary: %s", body)
+		}
+	}
+}

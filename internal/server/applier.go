@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+
+	"xixa/internal/storage"
+	"xixa/internal/wal"
+	"xixa/internal/xindex"
+)
+
+// Applier applies a WAL record stream to a database incrementally,
+// enforcing the transaction framing: document records between a
+// RecTxnBegin and its matching RecTxnCommit buffer and publish only
+// when the commit record arrives, all at once, and a frame that never
+// commits leaves no trace. It is the one redo path shared by crash
+// recovery (Recover feeds it the scanned tail), replication followers
+// (which feed it records as they stream in), and point-in-time restore
+// (RestoreToLSN feeds it archived history up to the target).
+//
+// Records must arrive in LSN order with no gaps; a record at or below
+// AppliedLSN is skipped silently (the dedup a follower needs when it
+// re-streams from its last durable position). An Applier is not safe
+// for concurrent use — callers serialize Apply against their own
+// reads.
+type Applier struct {
+	db   *storage.Database
+	defs []xindex.Definition
+	// onIndex, when set, materializes index lifecycle changes live as
+	// they apply (followers build indexes as the records arrive);
+	// without it the definition list just folds the changes in and the
+	// caller rebuilds at the end (recovery, restore).
+	onIndex func(create bool, def xindex.Definition) error
+
+	applied   uint64 // LSN of the last record consumed
+	committed uint64 // LSN of the last record whose effects are fully published
+	ops       int    // document/index operations actually applied
+
+	pending    []wal.Record // buffered ops of the open transaction frame
+	inTxn      bool
+	txnID      uint64
+	frameStart uint64 // LSN of the open frame's begin record
+}
+
+// NewApplier starts an applier over db whose state already reflects
+// every record through afterLSN (a checkpoint's stamp, or zero for an
+// empty database). defs is the index definition list as of afterLSN;
+// the applier folds create/drop records into its own copy.
+func NewApplier(db *storage.Database, defs []xindex.Definition, afterLSN uint64) *Applier {
+	return &Applier{
+		db:        db,
+		defs:      append([]xindex.Definition(nil), defs...),
+		applied:   afterLSN,
+		committed: afterLSN,
+	}
+}
+
+// SetIndexHook installs a callback invoked as index create (true) and
+// drop (false) records apply, letting a live follower materialize the
+// catalog change immediately instead of at the end of replay.
+func (a *Applier) SetIndexHook(h func(create bool, def xindex.Definition) error) {
+	a.onIndex = h
+}
+
+// AppliedLSN is the LSN of the last record consumed — including
+// records buffered inside a still-open transaction frame.
+func (a *Applier) AppliedLSN() uint64 { return a.applied }
+
+// CommittedLSN is the LSN of the last record whose effects are fully
+// published: equal to AppliedLSN at a frame boundary, and the LSN just
+// before the open frame's begin record while one is buffering. This is
+// the position a promotion truncates the log back to.
+func (a *Applier) CommittedLSN() uint64 { return a.committed }
+
+// FrameOpen reports that a transaction frame is buffering — a begin
+// record arrived with no matching commit yet.
+func (a *Applier) FrameOpen() bool { return a.inTxn }
+
+// OpsApplied is the number of document and index operations published.
+func (a *Applier) OpsApplied() int { return a.ops }
+
+// Defs returns the index definition list with every applied
+// create/drop folded in.
+func (a *Applier) Defs() []xindex.Definition { return a.defs }
+
+// Apply consumes one record. Records at or below AppliedLSN are
+// skipped; a gap in the sequence is an error (the caller lost or
+// reordered records).
+func (a *Applier) Apply(rec wal.Record) error {
+	if rec.LSN <= a.applied {
+		return nil
+	}
+	if rec.LSN != a.applied+1 {
+		return fmt.Errorf("server: apply LSN %d after %d: records missing", rec.LSN, a.applied)
+	}
+	a.applied = rec.LSN
+	switch rec.Kind {
+	case wal.RecTxnBegin:
+		if a.inTxn {
+			return fmt.Errorf("server: replay LSN %d: txn-begin %d inside open txn %d", rec.LSN, rec.TxnID, a.txnID)
+		}
+		a.inTxn, a.txnID, a.frameStart = true, rec.TxnID, rec.LSN
+		a.pending = a.pending[:0]
+	case wal.RecTxnCommit:
+		if !a.inTxn || rec.TxnID != a.txnID {
+			return fmt.Errorf("server: replay LSN %d: txn-commit %d without matching begin", rec.LSN, rec.TxnID)
+		}
+		for i := range a.pending {
+			if err := a.applyOp(&a.pending[i]); err != nil {
+				return err
+			}
+		}
+		a.inTxn = false
+		a.pending = a.pending[:0]
+		a.committed = rec.LSN
+	default:
+		if a.inTxn {
+			a.pending = append(a.pending, rec)
+		} else {
+			if err := a.applyOp(&rec); err != nil {
+				return err
+			}
+			a.committed = rec.LSN
+		}
+	}
+	return nil
+}
+
+func (a *Applier) table(name string) (*storage.Table, error) {
+	if tbl, err := a.db.Table(name); err == nil {
+		return tbl, nil
+	}
+	return a.db.CreateTable(name)
+}
+
+// applyOp publishes one non-framing record. A copy-on-write update is
+// one RecDocReplace record applied as a storage.Replace, preserving
+// the document's insertion-order position — the atomicity lives in the
+// record itself, so no tear can leave the remove half applied without
+// its insert (a state that never existed in memory).
+func (a *Applier) applyOp(rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.RecDocInsert:
+		tbl, err := a.table(rec.Table)
+		if err != nil {
+			return err
+		}
+		if err := tbl.InsertAt(rec.Doc, rec.DocID); err != nil {
+			return fmt.Errorf("server: replay LSN %d: %w", rec.LSN, err)
+		}
+	case wal.RecDocReplace:
+		tbl, err := a.table(rec.Table)
+		if err != nil {
+			return err
+		}
+		if !tbl.Replace(rec.DocID, rec.Doc) {
+			return fmt.Errorf("server: replay LSN %d: replace of missing doc %d in %s", rec.LSN, rec.DocID, rec.Table)
+		}
+	case wal.RecDocRemove:
+		tbl, err := a.table(rec.Table)
+		if err != nil {
+			return err
+		}
+		tbl.Delete(rec.DocID)
+	case wal.RecIndexCreate:
+		a.defs = addDef(a.defs, rec.Def)
+		if a.onIndex != nil {
+			if err := a.onIndex(true, rec.Def); err != nil {
+				return err
+			}
+		}
+	case wal.RecIndexDrop:
+		a.defs = removeDef(a.defs, rec.Def)
+		if a.onIndex != nil {
+			if err := a.onIndex(false, rec.Def); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("server: replay LSN %d: unknown record kind %v", rec.LSN, rec.Kind)
+	}
+	a.ops++
+	return nil
+}

@@ -24,6 +24,14 @@ const (
 // ErrNoWAL reports a durability operation on a server without a WAL.
 var ErrNoWAL = errors.New("server: no WAL attached (start with Recover and Config.WALDir)")
 
+// CheckpointPath locates the checkpoint file inside a durability
+// directory; WALPath locates the active log. Exported for the
+// replication layer, which ships these files between nodes.
+func CheckpointPath(walDir string) string { return filepath.Join(walDir, checkpointFile) }
+
+// WALPath returns the active write-ahead log path inside walDir.
+func WALPath(walDir string) string { return filepath.Join(walDir, walLogFile) }
+
 // RecoverInfo reports what Recover found and did.
 type RecoverInfo struct {
 	// CheckpointLSN is the WAL position of the loaded checkpoint
@@ -36,6 +44,11 @@ type RecoverInfo struct {
 	// which was truncated away — the expected wreckage of a crash
 	// mid-append, not an error.
 	Torn bool
+	// DanglingTxn reports that the WAL ended inside an unterminated
+	// transaction frame (a crash between AppendTxn and its fsync); the
+	// frame's records were discarded from replay AND physically
+	// truncated from the log, so the next recovery never sees them.
+	DanglingTxn bool
 	// Bootstrapped reports that no durable state existed and the
 	// bootstrap callback seeded the database.
 	Bootstrapped bool
@@ -109,8 +122,10 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 
 	// Open the log and scan its intact records.
 	l, scanned, err := wal.Open(filepath.Join(cfg.WALDir, walLogFile), wal.Options{
-		Policy:   cfg.SyncPolicy,
-		MaxDelay: cfg.SyncMaxDelay,
+		Policy:       cfg.SyncPolicy,
+		MaxDelay:     cfg.SyncMaxDelay,
+		SegmentBytes: cfg.SegmentBytes,
+		ArchiveDir:   cfg.ArchiveDir,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -158,10 +173,29 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 		db = storage.NewDatabase()
 	}
 
-	// Redo the tail past the checkpoint.
-	defs, info.Replayed, err = replayRecords(db, defs, scanned.Records, info.CheckpointLSN)
-	if err != nil {
-		return fail(err)
+	// Redo the tail past the checkpoint through the shared applier.
+	applier := NewApplier(db, defs, info.CheckpointLSN)
+	for i := range scanned.Records {
+		if scanned.Records[i].LSN <= info.CheckpointLSN {
+			continue
+		}
+		if err := applier.Apply(scanned.Records[i]); err != nil {
+			return fail(err)
+		}
+	}
+	defs = applier.Defs()
+	info.Replayed = applier.OpsApplied()
+
+	// An unterminated frame at the tail was discarded from replay, but
+	// its records are still physically in the log — and new commits
+	// would append AFTER them, so the next recovery's framing pass
+	// would swallow those commits into the dead frame. Truncate the
+	// frame away before any append can land.
+	if applier.FrameOpen() {
+		if err := l.TruncateTail(applier.CommittedLSN()); err != nil {
+			return fail(err)
+		}
+		info.DanglingTxn = true
 	}
 
 	s := New(db, cfg)
@@ -173,8 +207,16 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 	info.IndexesRebuilt = len(defs)
 
 	// The sink attaches only now: replayed mutations must not be
-	// re-logged, and no session can open before Recover returns.
-	s.attachWAL(l, cfg.WALDir)
+	// re-logged, and no session can open before Recover returns. A
+	// replica gets the log WITHOUT the sink — its mutations arrive
+	// pre-logged from the primary's stream, and re-logging each applied
+	// record would double every write; Promote attaches the sink when
+	// the replica opens for writes.
+	if cfg.Replica {
+		s.setWAL(l, cfg.WALDir)
+	} else {
+		s.attachWAL(l, cfg.WALDir)
+	}
 
 	// The capture sidecar is a warm-start cache, not data: a corrupt
 	// one must not block recovery of an otherwise-healthy server. The
@@ -193,101 +235,6 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 		}
 	}
 	return s, info, nil
-}
-
-// replayRecords applies the WAL tail past afterLSN to the database and
-// returns the index definition list with create/drop records folded
-// in. A copy-on-write update is one RecDocReplace record applied as a
-// storage.Replace, preserving the document's insertion-order position
-// — the atomicity lives in the record itself, so no tear can leave
-// the remove half applied without its insert (a state that never
-// existed in memory).
-//
-// Transaction framing: the document records between a RecTxnBegin and
-// its matching RecTxnCommit buffer and apply only when the commit
-// record arrives, all at once. A begin with no commit by the end of
-// the log is a transaction whose records were appended but whose
-// publish never became durable — the crash hit inside AppendTxn's
-// batch or before its fsync — and is discarded whole. AppendTxn writes
-// a transaction's records contiguously, so frames never interleave;
-// nested or mismatched framing is corruption and fails recovery.
-func replayRecords(db *storage.Database, defs []xindex.Definition, recs []wal.Record, afterLSN uint64) ([]xindex.Definition, int, error) {
-	table := func(name string) (*storage.Table, error) {
-		if tbl, err := db.Table(name); err == nil {
-			return tbl, nil
-		}
-		return db.CreateTable(name)
-	}
-	applied := 0
-	applyOp := func(rec *wal.Record) error {
-		switch rec.Kind {
-		case wal.RecDocInsert:
-			tbl, err := table(rec.Table)
-			if err != nil {
-				return err
-			}
-			if err := tbl.InsertAt(rec.Doc, rec.DocID); err != nil {
-				return fmt.Errorf("server: replay LSN %d: %w", rec.LSN, err)
-			}
-		case wal.RecDocReplace:
-			tbl, err := table(rec.Table)
-			if err != nil {
-				return err
-			}
-			if !tbl.Replace(rec.DocID, rec.Doc) {
-				return fmt.Errorf("server: replay LSN %d: replace of missing doc %d in %s", rec.LSN, rec.DocID, rec.Table)
-			}
-		case wal.RecDocRemove:
-			tbl, err := table(rec.Table)
-			if err != nil {
-				return err
-			}
-			tbl.Delete(rec.DocID)
-		case wal.RecIndexCreate:
-			defs = addDef(defs, rec.Def)
-		case wal.RecIndexDrop:
-			defs = removeDef(defs, rec.Def)
-		default:
-			return fmt.Errorf("server: replay LSN %d: unknown record kind %v", rec.LSN, rec.Kind)
-		}
-		applied++
-		return nil
-	}
-	var pending []*wal.Record // ops of the open transaction frame
-	inTxn := false
-	var txnID uint64
-	for i := range recs {
-		rec := &recs[i]
-		if rec.LSN <= afterLSN {
-			continue
-		}
-		switch rec.Kind {
-		case wal.RecTxnBegin:
-			if inTxn {
-				return defs, applied, fmt.Errorf("server: replay LSN %d: txn-begin %d inside open txn %d", rec.LSN, rec.TxnID, txnID)
-			}
-			inTxn, txnID, pending = true, rec.TxnID, pending[:0]
-		case wal.RecTxnCommit:
-			if !inTxn || rec.TxnID != txnID {
-				return defs, applied, fmt.Errorf("server: replay LSN %d: txn-commit %d without matching begin", rec.LSN, rec.TxnID)
-			}
-			for _, op := range pending {
-				if err := applyOp(op); err != nil {
-					return defs, applied, err
-				}
-			}
-			inTxn, pending = false, pending[:0]
-		default:
-			if inTxn {
-				pending = append(pending, rec)
-			} else if err := applyOp(rec); err != nil {
-				return defs, applied, err
-			}
-		}
-	}
-	// An unterminated frame at the tail: the transaction never became
-	// durable as a unit; none of its effects may survive.
-	return defs, applied, nil
 }
 
 func addDef(defs []xindex.Definition, def xindex.Definition) []xindex.Definition {
@@ -319,8 +266,20 @@ func removeDef(defs []xindex.Definition, def xindex.Definition) []xindex.Definit
 // publish lock (txnPrepare), and re-logging them here would double
 // every transactional write on replay.
 func (s *Server) attachWAL(l *wal.Log, dir string) {
+	s.setWAL(l, dir)
+	s.attachSink()
+}
+
+// setWAL hands the server its log without a change-feed sink — the
+// replica configuration, where every record arrives from the primary's
+// stream already logged. Promote upgrades to a full attachWAL.
+func (s *Server) setWAL(l *wal.Log, dir string) {
 	s.wal = l
 	s.walDir = dir
+}
+
+// attachSink subscribes the WAL sink to every table's change feed.
+func (s *Server) attachSink() {
 	for _, name := range s.db.TableNames() {
 		tbl, err := s.db.Table(name)
 		if err != nil {
@@ -382,6 +341,16 @@ func (s *Server) checkpointLocked() error {
 	}
 	if err := persist.SaveCaptureFile(filepath.Join(s.walDir, captureFile), s.capture.Export()); err != nil {
 		return err
+	}
+	// With an archive configured, the checkpoint joins it under an
+	// LSN-stamped name before the log truncates: paired with the
+	// archived WAL segments (Truncate moves rather than deletes them),
+	// any archived checkpoint plus the records past its stamp can
+	// rebuild the image at any committed LSN — see RestoreToLSN.
+	if dir := s.wal.ArchiveDir(); dir != "" {
+		if _, err := persist.ArchiveCheckpoint(filepath.Join(s.walDir, checkpointFile), dir, lsn); err != nil {
+			return err
+		}
 	}
 	return s.wal.Truncate(lsn)
 }

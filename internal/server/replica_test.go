@@ -1,0 +1,366 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"xixa/internal/persist"
+	"xixa/internal/wal"
+)
+
+// TestRecoverTruncatesDanglingFrame is the regression test for the
+// dangling-frame hazard: an unterminated transaction frame left in the
+// log after a crash must be physically truncated by recovery, not just
+// skipped during replay — otherwise new commits append after the
+// orphaned begin, and the *next* recovery's framing pass buffers them
+// into the dead frame and discards them.
+func TestRecoverTruncatesDanglingFrame(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, err := Recover(durableCfg(dir), bootstrapFixture(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, sess, insertStmt("DF000", 1))
+	committed := srv.WAL().LastLSN()
+	srv.Close()
+
+	// Crash mid-frame: append txn-begin plus one operation with no
+	// commit record, as a writer killed between AppendTxn batches of a
+	// larger story would leave. AppendTxn appends whatever payloads it
+	// is given; framing is the caller's contract.
+	l, _, err := wal.Open(filepath.Join(dir, walLogFile), wal.Options{Policy: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := wal.EncodeDocInsert("SECURITY", secDoc("DFLOST", "Recovered", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendTxn([][]byte{wal.EncodeTxnBegin(99), ins}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	srv2, info, err := Recover(durableCfg(dir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.DanglingTxn {
+		t.Fatal("recovery did not report the dangling frame")
+	}
+	if got := srv2.WAL().LastLSN(); got != committed {
+		t.Fatalf("dangling frame not truncated: log at LSN %d, committed prefix ends at %d", got, committed)
+	}
+
+	// The once-latent corruption: commit after recovery, then recover
+	// again. With the frame physically gone the new commit must survive.
+	sess2, err := srv2.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, sess2, insertStmt("DF001", 2))
+	want := dbBytes(t, srv2)
+	srv2.Close()
+
+	srv3, info3, err := Recover(durableCfg(dir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv3.Close()
+	if info3.DanglingTxn {
+		t.Fatal("second recovery saw a dangling frame that should be gone")
+	}
+	if !bytes.Equal(dbBytes(t, srv3), want) {
+		t.Fatal("commit after dangling-frame recovery was lost on the next recovery")
+	}
+}
+
+// TestReplicaReadOnlyAndPromote covers the replica write fence: a
+// server recovered with Config.Replica refuses every mutation path —
+// statements, explicit transactions, tuning — while serving reads, and
+// Promote flips it into a fully writable, durably logging primary.
+func TestReplicaReadOnlyAndPromote(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, err := Recover(durableCfg(dir), bootstrapFixture(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, sess, insertStmt("RP000", 1))
+	srv.Close()
+
+	cfg := durableCfg(dir)
+	cfg.Replica = true
+	rep, _, err := Recover(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if !rep.ReadOnly() {
+		t.Fatal("replica server is not read-only")
+	}
+
+	rsess, err := rep.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rsess.Execute(insertStmt("RP001", 2)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica insert: got %v, want ErrReadOnly", err)
+	}
+	if _, err := rsess.Execute(pointQuery(3)); err != nil {
+		t.Fatalf("replica query refused: %v", err)
+	}
+	if _, err := rep.TuneOnce(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica TuneOnce: got %v, want ErrReadOnly", err)
+	}
+
+	// Explicit transactions: mutations refused, snapshot reads commit.
+	tx, err := rsess.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Execute(insertStmt("RP002", 3)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica txn insert: got %v, want ErrReadOnly", err)
+	}
+	if _, err := tx.Execute(pointQuery(4)); err != nil {
+		t.Fatalf("replica txn query refused: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("read-only txn commit on replica: %v", err)
+	}
+
+	// Promotion: writes flow, and they reach the log — recover the
+	// directory again and the post-promotion commit must be there.
+	rep.Promote()
+	if rep.ReadOnly() {
+		t.Fatal("Promote left the server read-only")
+	}
+	mustExec(t, rsess, insertStmt("RP003", 4))
+	want := dbBytes(t, rep)
+	rep.Close()
+
+	again, _, err := Recover(durableCfg(dir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if !bytes.Equal(dbBytes(t, again), want) {
+		t.Fatal("post-promotion commit did not survive recovery")
+	}
+}
+
+// TestFencedServerRefusesWrites: fencing is permanent and beats every
+// mutation path, while reads keep serving.
+func TestFencedServerRefusesWrites(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, err := Recover(durableCfg(dir), bootstrapFixture(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sess, err := srv.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Fence()
+	if _, err := sess.Execute(insertStmt("FN000", 1)); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced insert: got %v, want ErrFenced", err)
+	}
+	if _, err := sess.Execute(pointQuery(2)); err != nil {
+		t.Fatalf("fenced query refused: %v", err)
+	}
+	// Promote must not resurrect a fenced server.
+	srv.Promote()
+	if _, err := sess.Execute(insertStmt("FN001", 1)); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced insert after Promote: got %v, want ErrFenced", err)
+	}
+}
+
+// restoreCfg configures a server whose WAL rolls small segments into an
+// archive, so checkpoints preserve rather than destroy history.
+func restoreCfg(dir string) Config {
+	cfg := durableCfg(dir)
+	cfg.SegmentBytes = 4096
+	cfg.ArchiveDir = filepath.Join(dir, "archive")
+	return cfg
+}
+
+// TestRestoreToLSN drives the point-in-time restore acceptance
+// criterion: with WAL archiving on, RestoreToLSN reproduces the exact
+// image at every committed LSN — across segment rolls and a checkpoint
+// that truncated the live log — and a target inside a transaction
+// frame restores to the state just before the frame.
+func TestRestoreToLSN(t *testing.T) {
+	dir := t.TempDir()
+	cfg := restoreCfg(dir)
+	srv, _, err := Recover(cfg, bootstrapFixture(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One committed image per insert: LSN -> expected serialized state.
+	type point struct {
+		lsn  uint64
+		snap []byte
+	}
+	var points []point
+	record := func() {
+		points = append(points, point{srv.WAL().LastLSN(), dbBytes(t, srv)})
+	}
+	record() // the bootstrap image at the initial checkpoint LSN
+	for i := 0; i < 12; i++ {
+		mustExec(t, sess, insertStmt(fmt.Sprintf("PT%03d", i), i))
+		record()
+		if i == 5 {
+			if err := srv.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// A multi-operation frame, so a mid-frame target exists.
+	tx, err := sess.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := tx.Execute(insertStmt(fmt.Sprintf("PTX%02d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preFrame := points[len(points)-1]
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	record()
+	final := points[len(points)-1]
+	srv.Close()
+
+	for _, p := range points {
+		res, err := RestoreToLSN(dir, cfg.ArchiveDir, p.lsn)
+		if err != nil {
+			t.Fatalf("RestoreToLSN(%d): %v", p.lsn, err)
+		}
+		if res.LSN != p.lsn {
+			t.Fatalf("RestoreToLSN(%d) landed at %d", p.lsn, res.LSN)
+		}
+		var buf bytes.Buffer
+		if err := persist.SaveDatabase(&buf, res.DB, res.Defs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), p.snap) {
+			t.Fatalf("restored image at LSN %d is not bit-identical to the live image", p.lsn)
+		}
+	}
+
+	// Mid-frame target: the frame spans (preFrame.lsn, final.lsn]; a
+	// target two records in must drop the open frame and land on the
+	// pre-frame image.
+	mid := preFrame.lsn + 2
+	if mid >= final.lsn {
+		t.Fatalf("frame too short for a mid-frame target: %d..%d", preFrame.lsn, final.lsn)
+	}
+	res, err := RestoreToLSN(dir, cfg.ArchiveDir, mid)
+	if err != nil {
+		t.Fatalf("RestoreToLSN(mid-frame %d): %v", mid, err)
+	}
+	if res.LSN != preFrame.lsn {
+		t.Fatalf("mid-frame restore landed at %d, want the pre-frame LSN %d", res.LSN, preFrame.lsn)
+	}
+	var buf bytes.Buffer
+	if err := persist.SaveDatabase(&buf, res.DB, res.Defs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), preFrame.snap) {
+		t.Fatal("mid-frame restore is not the pre-frame image")
+	}
+
+	// Beyond history: a loud error, not a silent partial image.
+	if _, err := RestoreToLSN(dir, cfg.ArchiveDir, final.lsn+10); err == nil {
+		t.Fatal("restore beyond history succeeded")
+	}
+}
+
+// TestCheckpointArchivesHistory: with an archive configured, a
+// checkpoint preserves the truncated WAL segments and an LSN-stamped
+// checkpoint copy, and a cursor can still stream from genesis.
+func TestCheckpointArchivesHistory(t *testing.T) {
+	dir := t.TempDir()
+	cfg := restoreCfg(dir)
+	srv, _, err := Recover(cfg, bootstrapFixture(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sess, err := srv.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		mustExec(t, sess, insertStmt(fmt.Sprintf("AR%03d", i), i))
+	}
+	tip := srv.WAL().LastLSN()
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	chks, err := persist.ListArchivedCheckpoints(cfg.ArchiveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chks) == 0 {
+		t.Fatal("checkpoint archived no LSN-stamped copy")
+	}
+	if got := chks[len(chks)-1].LSN; got != tip {
+		t.Fatalf("archived checkpoint stamped %d, want %d", got, tip)
+	}
+	segs, err := wal.ListSegmentFiles(cfg.ArchiveDir, walLogFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("checkpoint archived no WAL segments")
+	}
+	if got := srv.WAL().EarliestLSN(); got != 0 {
+		t.Fatalf("EarliestLSN with archive = %d, want 0", got)
+	}
+
+	// The full history replays from the archive: every LSN from genesis
+	// to the tip, exactly once.
+	cur := srv.WAL().Cursor(0)
+	defer cur.Close()
+	next := uint64(1)
+	for {
+		lsn, _, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn == 0 {
+			break
+		}
+		if lsn != next {
+			t.Fatalf("cursor produced LSN %d, want %d", lsn, next)
+		}
+		next++
+	}
+	if next != tip+1 {
+		t.Fatalf("cursor stopped at LSN %d, want to reach %d", next-1, tip)
+	}
+}

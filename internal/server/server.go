@@ -63,6 +63,14 @@ var (
 	ErrTooManySessions = errors.New("server: too many sessions")
 	// ErrClosed reports the server has shut down.
 	ErrClosed = errors.New("server: closed")
+	// ErrReadOnly reports a mutation on a read-only replica; only a
+	// promotion (Promote) opens it for writes.
+	ErrReadOnly = errors.New("server: read-only replica (promote to accept writes)")
+	// ErrFenced reports a mutation on a fenced server: a newer primary
+	// epoch exists, so accepting the write would fork history. A fenced
+	// server never un-fences; it must be rebuilt as a replica of the
+	// new primary.
+	ErrFenced = errors.New("server: fenced by a newer primary epoch")
 )
 
 // Config tunes the serving layer. The zero value selects sensible
@@ -122,6 +130,21 @@ type Config struct {
 	// CheckpointBytes triggers an automatic checkpoint from the tuning
 	// loop's ticker once the WAL grows past it (0 = 64 MiB).
 	CheckpointBytes int64
+	// SegmentBytes rolls the WAL into sealed segments once the active
+	// file outgrows it (0 = single-file log). Segmentation is what lets
+	// checkpoints archive history instead of deleting it.
+	SegmentBytes int64
+	// ArchiveDir, when set, preserves checkpointed-away WAL segments
+	// and LSN-stamped checkpoint copies instead of deleting them — the
+	// retention replication catch-up and point-in-time restore read
+	// from. Same filesystem as WALDir.
+	ArchiveDir string
+	// Replica starts the server as a read-only replication follower:
+	// mutations are refused with ErrReadOnly, the tuner refuses to run,
+	// and the WAL attaches without a change-feed sink (records arrive
+	// pre-logged from the primary's stream). Promote flips the server
+	// into a writable primary.
+	Replica bool
 }
 
 func (c Config) withDefaults() Config {
@@ -232,6 +255,12 @@ type Server struct {
 	tuner  tuner
 	closed atomic.Bool
 
+	// readOnly marks a replication follower (mutations refused until
+	// Promote); fenced marks a deposed primary that has seen a newer
+	// epoch (mutations refused forever).
+	readOnly atomic.Bool
+	fenced   atomic.Bool
+
 	loopMu   sync.Mutex
 	loopStop chan struct{}
 	loopDone chan struct{}
@@ -257,8 +286,51 @@ func New(db *storage.Database, cfg Config) *Server {
 	s.flight.wg = &sync.WaitGroup{}
 	s.mgr = xindex.NewManager(db, cat, s.flight.barrier)
 	s.tuner.init(cfg)
+	if cfg.Replica {
+		s.readOnly.Store(true)
+	}
 	return s
 }
+
+// writable reports whether the server may accept a mutation right now.
+func (s *Server) writable() error {
+	if s.fenced.Load() {
+		return ErrFenced
+	}
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// ReadOnly reports that the server is a not-yet-promoted replica.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// Fenced reports that the server has been fenced by a newer primary
+// epoch.
+func (s *Server) Fenced() bool { return s.fenced.Load() }
+
+// Fence permanently refuses mutations: a newer primary epoch exists,
+// and a zombie primary accepting writes would fork history. Reads keep
+// working — a fenced server is a stale replica, not a corpse.
+func (s *Server) Fence() { s.fenced.Store(true) }
+
+// Promote flips a read-only replica into a writable primary: the WAL
+// change-feed sink attaches (a replica runs without one) and mutations
+// are accepted. The caller — replica.Follower.Promote — has already
+// stopped the stream and truncated any unterminated transaction frame
+// from the log. Promoting a server that is not a replica is a no-op.
+func (s *Server) Promote() {
+	if !s.readOnly.CompareAndSwap(true, false) {
+		return
+	}
+	if s.wal != nil && len(s.walSubs) == 0 {
+		s.attachSink()
+	}
+}
+
+// WALDir returns the durability directory ("" without durability).
+func (s *Server) WALDir() string { return s.walDir }
 
 // DB returns the underlying database.
 func (s *Server) DB() *storage.Database { return s.db }
@@ -376,6 +448,12 @@ func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 	var st engine.Stats
 	var err error
 	if stmt.Kind != xquery.Query {
+		if werr := s.writable(); werr != nil {
+			sess.mu.Lock()
+			sess.errors++
+			sess.mu.Unlock()
+			return nil, werr
+		}
 		// Mutations run as single-statement transactions: snapshot,
 		// buffered writes, first-writer-wins commit, automatic retry on
 		// conflict (txn.go). The durability wait happens after the

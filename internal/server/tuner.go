@@ -88,6 +88,13 @@ func (s *Server) TuneOnce() (*TuneReport, error) {
 }
 
 func (s *Server) tuneOnceLocked() (*TuneReport, error) {
+	// A replica's catalog is driven by the primary's index records; a
+	// locally tuned configuration would diverge from the stream (and
+	// try to log create/drop records into a sink-less WAL). A fenced
+	// ex-primary must not mutate its catalog either.
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	t := &s.tuner
 	t.round++

@@ -23,6 +23,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"time"
 
 	"xixa/internal/engine"
 	"xixa/internal/storage"
@@ -33,8 +35,27 @@ import (
 
 // maxConflictRetries bounds automatic first-writer-wins retries of a
 // single-statement transaction before the conflict surfaces to the
-// client.
-const maxConflictRetries = 8
+// client. Between retries the statement sleeps a full-jitter
+// exponential backoff (uniform over (0, base<<attempt], capped):
+// immediate retries under high contention re-collide in lockstep —
+// eight writers on one hot document all re-validate, all lose but one,
+// and all re-run together, burning CPU that the winner needs to get
+// off the document — while the randomized, growing pause spreads the
+// losers out so each round crowns a winner quickly.
+const (
+	maxConflictRetries  = 8
+	conflictBackoffBase = 50 * time.Microsecond
+	conflictBackoffMax  = 5 * time.Millisecond
+)
+
+// sleepConflictBackoff pauses before conflict retry number attempt+1.
+func sleepConflictBackoff(attempt int) {
+	ceil := conflictBackoffBase << uint(attempt)
+	if ceil > conflictBackoffMax {
+		ceil = conflictBackoffMax
+	}
+	time.Sleep(time.Duration(rand.Int63n(int64(ceil))) + 1)
+}
 
 // ErrTxnFinished reports Execute/Commit on an already-finished
 // explicit transaction.
@@ -79,6 +100,12 @@ func encodeTxnOp(op storage.TxOp) ([]byte, error) {
 // publishes. Encoding happens here, outside the publish lock; the
 // returned closure appends the finished batch inside it.
 func (s *Server) txnPrepare(ops []storage.TxOp) (func() (uint64, error), error) {
+	// The last line of defense for replica/fencing enforcement: no
+	// write set may reach the log of a read-only or fenced server, even
+	// through a path that skipped the statement-level check.
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
 	payloads := make([][]byte, 0, len(ops)+2)
 	if len(ops) > 1 {
 		id := s.txnSeq.Add(1)
@@ -148,6 +175,7 @@ func (s *Server) executeTxn(stmt *xquery.Statement) ([]xindex.Ref, engine.Stats,
 			return refs, st, nil
 		}
 		if errors.Is(cerr, storage.ErrConflict) && attempt < maxConflictRetries {
+			sleepConflictBackoff(attempt)
 			continue
 		}
 		return nil, st, cerr
@@ -202,6 +230,11 @@ func (t *Txn) Execute(raw string) (*Result, error) {
 	wg := s.flight.enter()
 	defer wg.Done()
 
+	if stmt.Kind != xquery.Query {
+		if werr := s.writable(); werr != nil {
+			return nil, werr
+		}
+	}
 	refs, st, err := t.tx.Execute(stmt)
 	t.sess.mu.Lock()
 	if err != nil {

@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// errCursorRetry marks a transient race between a cursor and a
+// concurrent seal/truncate rename; the cursor re-resolves and retries.
+var errCursorRetry = errors.New("wal: cursor raced a segment rename")
+
+// Cursor streams a log's records in LSN order, starting after a chosen
+// position — the primary side of WAL shipping. It reads through its
+// own file descriptors, following the record chain across archived
+// segments, sealed segments, and the active file, and only ever
+// surfaces records the log has flushed (records a client could have
+// been told committed). A cursor tails a live log: Next returns
+// (0, nil, nil) at the flushed tip and later calls pick up new
+// records. A Cursor is not safe for concurrent use.
+type Cursor struct {
+	l    *Log
+	next uint64 // LSN of the next record to surface
+	f    *os.File
+	r    *bufio.Reader
+	pos  uint64 // LSN of the last record read from the open file
+}
+
+// Cursor returns a cursor positioned to surface record after+1 next.
+// The position may live anywhere in retained history (see
+// EarliestLSN); a position truncated away surfaces ErrTruncated from
+// Next.
+func (l *Log) Cursor(after uint64) *Cursor {
+	return &Cursor{l: l, next: after + 1}
+}
+
+// Next returns the next flushed record's LSN and raw payload, or
+// (0, nil, nil) when the cursor has caught up with the flushed tip.
+// The payload is freshly allocated and the caller's to keep.
+func (c *Cursor) Next() (uint64, []byte, error) {
+	c.l.mu.Lock()
+	limit := c.l.flushed
+	closed := c.l.closed
+	c.l.mu.Unlock()
+	if c.next > limit {
+		if closed {
+			return 0, nil, ErrClosed
+		}
+		return 0, nil, nil
+	}
+	retries := 0
+	for {
+		if c.f == nil {
+			if err := c.open(); err != nil {
+				if errors.Is(err, errCursorRetry) && retries < 5 {
+					retries++
+					continue
+				}
+				return 0, nil, err
+			}
+		}
+		lsn, payload, err := c.readRecord()
+		if err == io.EOF {
+			// The file ended cleanly before c.next: the record lives in
+			// the next file of the chain (or this file was sealed and a
+			// fresh active took over) — reopen at the current position.
+			c.Close()
+			if retries >= 5 {
+				return 0, nil, fmt.Errorf("wal: cursor stuck at LSN %d", c.next)
+			}
+			retries++
+			continue
+		}
+		if err != nil {
+			c.Close()
+			return 0, nil, err
+		}
+		if lsn < c.next {
+			continue // skipping forward inside a freshly opened file
+		}
+		c.next = lsn + 1
+		return lsn, payload, nil
+	}
+}
+
+// open resolves the file holding record c.next and opens it positioned
+// after the header.
+func (c *Cursor) open() error {
+	c.l.mu.Lock()
+	path, fileStart, err := c.l.resolveLocked(c.next)
+	c.l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Sealed or truncated between resolve and open.
+			return errCursorRetry
+		}
+		return err
+	}
+	var head [headerLen]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: cursor reading header of %s: %w", path, err)
+	}
+	if string(head[:8]) != string(magic) ||
+		crc32.Checksum(head[:16], crcTable) != binary.LittleEndian.Uint32(head[16:20]) {
+		f.Close()
+		return fmt.Errorf("wal: cursor: %s is not a wal file", path)
+	}
+	if binary.LittleEndian.Uint64(head[8:16]) != fileStart {
+		// The active file was swapped (sealed, or checkpoint-truncated)
+		// after resolve handed out its start.
+		f.Close()
+		return errCursorRetry
+	}
+	c.f = f
+	c.r = bufio.NewReader(f)
+	c.pos = fileStart
+	return nil
+}
+
+// readRecord reads the next frame from the open file. io.EOF means the
+// file ended cleanly at a record boundary; any short or corrupt frame
+// below the flushed tip is real corruption and surfaces as an error.
+func (c *Cursor) readRecord() (uint64, []byte, error) {
+	var frame [frameLen]byte
+	if _, err := io.ReadFull(c.r, frame[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wal: cursor frame at LSN %d: %w", c.pos+1, err)
+	}
+	n := binary.LittleEndian.Uint32(frame[:4])
+	want := binary.LittleEndian.Uint32(frame[4:8])
+	if n == 0 || n > maxRecordLen {
+		return 0, nil, fmt.Errorf("wal: cursor frame at LSN %d: bad length %d", c.pos+1, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wal: cursor payload at LSN %d: %w", c.pos+1, err)
+	}
+	if crc32.Checksum(payload, crcTable) != want {
+		return 0, nil, fmt.Errorf("wal: cursor payload at LSN %d: checksum mismatch", c.pos+1)
+	}
+	c.pos++
+	return c.pos, payload, nil
+}
+
+// Close releases the cursor's file descriptor. The cursor stays usable
+// — the next Next reopens at the current position.
+func (c *Cursor) Close() {
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+		c.r = nil
+	}
+}
+
+// resolveLocked names the file holding record lsn and the LSN before
+// that file's first record. The active file resolves for any lsn past
+// its start, even beyond the last record — callers gate on the flushed
+// tip.
+func (l *Log) resolveLocked(lsn uint64) (path string, fileStart uint64, err error) {
+	if lsn > l.segStart {
+		return l.path, l.segStart, nil
+	}
+	for _, sm := range l.segs {
+		if lsn > sm.start && lsn <= sm.end {
+			return sm.path, sm.start, nil
+		}
+	}
+	for _, sm := range l.archived {
+		if lsn > sm.start && lsn <= sm.end {
+			return sm.path, sm.start, nil
+		}
+	}
+	return "", 0, fmt.Errorf("%w (LSN %d, earliest retained %d)", ErrTruncated, lsn, l.earliestLocked()+1)
+}
+
+func (l *Log) earliestLocked() uint64 {
+	if len(l.archived) > 0 {
+		return l.archived[0].start
+	}
+	return l.start
+}
+
+// SegmentInfo describes one on-disk log file: an archived or sealed
+// segment, or the active file. Records cover (Start, End].
+type SegmentInfo struct {
+	Path       string
+	Start, End uint64
+}
+
+// ListSegmentFiles finds the sealed segment files for the log named
+// base (e.g. "wal.log") inside dir, oldest first — the offline half of
+// point-in-time restore, usable without an open Log.
+func ListSegmentFiles(dir, base string) ([]SegmentInfo, error) {
+	segs, err := listSegments(dir, base)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]SegmentInfo, len(segs))
+	for i, sm := range segs {
+		infos[i] = SegmentInfo{Path: sm.path, Start: sm.start, End: sm.end}
+	}
+	return infos, nil
+}
+
+// ReadSegment scans any wal-format file — an archived segment, a
+// sealed segment, or an active log — read-only, returning its records
+// in LSN order. torn reports that the file ends in a torn or corrupt
+// frame (everything before it is returned).
+func ReadSegment(path string) (startLSN uint64, recs []Record, torn bool, err error) {
+	startLSN, recs, _, torn, err = readSegmentFile(path)
+	return startLSN, recs, torn, err
+}

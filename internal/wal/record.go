@@ -225,6 +225,13 @@ func (r *byteReader) str() (string, error) {
 	return s, nil
 }
 
+// DecodePayload decodes a framed record payload carrying LSN lsn — the
+// inverse of the Encode helpers, used by replication followers to turn
+// a streamed payload back into a replayable Record.
+func DecodePayload(lsn uint64, payload []byte) (Record, error) {
+	return decodeRecord(lsn, payload)
+}
+
 func decodeRecord(lsn uint64, payload []byte) (Record, error) {
 	r := &byteReader{buf: payload}
 	kb, err := r.ReadByte()
