@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"fmt"
 	"xixa/internal/core"
@@ -20,6 +21,7 @@ import (
 	"xixa/internal/experiments"
 
 	"xixa/internal/optimizer"
+	"xixa/internal/replica"
 	"xixa/internal/server"
 	"xixa/internal/storage"
 	"xixa/internal/tpox"
@@ -761,7 +763,7 @@ func BenchmarkCommitThroughput(b *testing.B) {
 					if syncEach {
 						// No grouping: the statement's fsync is its own.
 						syncMu.Lock()
-						_, err := l.AppendDocInsert("SECURITY", doc)
+						_, err := l.AppendDocInsert("SECURITY", doc, 0)
 						if err == nil {
 							err = l.Sync()
 						}
@@ -772,7 +774,7 @@ func BenchmarkCommitThroughput(b *testing.B) {
 						}
 						continue
 					}
-					lsn, err := l.AppendDocInsert("SECURITY", doc)
+					lsn, err := l.AppendDocInsert("SECURITY", doc, 0)
 					if err == nil {
 						err = l.Commit(lsn)
 					}
@@ -802,12 +804,17 @@ func BenchmarkCommitThroughput(b *testing.B) {
 //   - disjoint: writer w inserts into its own table — commits touch
 //     different commit locks and never conflict, so throughput should
 //     scale with the writer count (the pre-MVCC global writer lock
-//     flattened this curve).
+//     flattened this curve; the sharded stamp allocator removed the
+//     remaining database-wide publish section).
+//   - shared: every writer inserts into the SAME table — disjoint
+//     documents, so commits never conflict, but they serialize on the
+//     one table's commit lock; the gap to disjoint is the per-table
+//     publish cost.
 //   - conflicting: every writer updates the SAME document of one
 //     table — the worst case, where first-writer-wins forces all but
 //     one commit per round to retry on a fresh snapshot.
 func BenchmarkMultiTableCommit(b *testing.B) {
-	run := func(b *testing.B, writers int, conflicting bool) {
+	run := func(b *testing.B, writers int, mode string) {
 		db := storage.NewDatabase()
 		for w := 0; w < writers; w++ {
 			tbl := db.MustCreateTable(fmt.Sprintf("T%02d", w))
@@ -821,8 +828,13 @@ func BenchmarkMultiTableCommit(b *testing.B) {
 		stmts := make([]*xquery.Statement, writers)
 		sessions := make([]*server.Session, writers)
 		for w := 0; w < writers; w++ {
-			raw := fmt.Sprintf(`insert into T%02d value <Security><Symbol>W%02d</Symbol><Yield>4.5</Yield></Security>`, w, w)
-			if conflicting {
+			var raw string
+			switch mode {
+			case "disjoint":
+				raw = fmt.Sprintf(`insert into T%02d value <Security><Symbol>W%02d</Symbol><Yield>4.5</Yield></Security>`, w, w)
+			case "shared":
+				raw = fmt.Sprintf(`insert into T00 value <Security><Symbol>W%02d</Symbol><Yield>4.5</Yield></Security>`, w)
+			case "conflicting":
 				raw = fmt.Sprintf(`update T00 set Yield = %d.5 where /Security[Symbol="SEED"]`, w)
 			}
 			stmt, err := xquery.Parse(raw)
@@ -864,11 +876,91 @@ func BenchmarkMultiTableCommit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	for _, w := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("disjoint/writers=%d", w), func(b *testing.B) { run(b, w, false) })
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("disjoint/writers=%d", w), func(b *testing.B) { run(b, w, "disjoint") })
+	}
+	for _, w := range []int{1, 8, 16} {
+		b.Run(fmt.Sprintf("shared/writers=%d", w), func(b *testing.B) { run(b, w, "shared") })
 	}
 	for _, w := range []int{2, 8} {
-		b.Run(fmt.Sprintf("conflicting/writers=%d", w), func(b *testing.B) { run(b, w, true) })
+		b.Run(fmt.Sprintf("conflicting/writers=%d", w), func(b *testing.B) { run(b, w, "conflicting") })
+	}
+}
+
+// BenchmarkReplicatedReads measures the read fan-out a replica tier
+// buys: a primary seeded with the TPoX corpus streams to N followers,
+// and one reader per follower runs the same query against its
+// follower's read-only server. Per-op time should hold roughly flat as
+// followers are added (aggregate throughput scales with N): followers
+// serve reads from local state and only pay the idle stream.
+func BenchmarkReplicatedReads(b *testing.B) {
+	run := func(b *testing.B, followers int) {
+		srv, _, err := server.Recover(
+			server.Config{WALDir: b.TempDir(), SyncPolicy: wal.SyncOff},
+			func() (*storage.Database, error) { return tpox.NewDatabase(1) })
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		prim, err := replica.NewPrimary(srv, replica.PrimaryConfig{Heartbeat: 10 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer prim.Close()
+		addr, err := prim.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		stmt, err := xquery.Parse(tpox.Queries()[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		tip := srv.WAL().LastLSN()
+		sessions := make([]*server.Session, followers)
+		for i := 0; i < followers; i++ {
+			f, ferr := replica.StartFollower(replica.FollowerConfig{
+				PrimaryAddr: addr,
+				Dir:         b.TempDir(),
+				Server:      server.Config{SyncPolicy: wal.SyncOff},
+			})
+			if ferr != nil {
+				b.Fatal(ferr)
+			}
+			defer f.Close()
+			for f.Info().AppliedLSN < tip {
+				time.Sleep(time.Millisecond)
+			}
+			if sessions[i], err = f.Server().NewSession(); err != nil {
+				b.Fatal(err)
+			}
+			defer sessions[i].Close()
+		}
+
+		remaining := int64(b.N)
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		errCh := make(chan error, followers)
+		for i := 0; i < followers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for atomic.AddInt64(&remaining, -1) >= 0 {
+					if _, err := sessions[i].ExecuteStmt(stmt); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			b.Fatal(err)
+		}
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("followers=%d", n), func(b *testing.B) { run(b, n) })
 	}
 }
 
@@ -885,7 +977,7 @@ func BenchmarkRecoveryReplay(b *testing.B) {
 	for i := 0; i < records; i++ {
 		doc := benchWALDoc()
 		doc.DocID = int64(i)
-		if _, err := l.AppendDocInsert("SECURITY", doc); err != nil {
+		if _, err := l.AppendDocInsert("SECURITY", doc, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

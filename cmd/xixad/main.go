@@ -358,6 +358,12 @@ func handleLine(rs *replState, srv *server.Server, sess *server.Session, out *bu
 		txn := srv.TxnStats()
 		fmt.Fprintf(out, "| txns: %d committed, %d aborted, %d write-write conflicts\n",
 			txn.Commits, txn.Aborts, txn.Conflicts)
+		retries, backoff := sess.RetryStats()
+		fmt.Fprintf(out, "| txns session: %d conflict retries, %s backoff slept\n", retries, backoff)
+		fmt.Fprintf(out, "| commit pipeline: %d stamps allocated, watermark %d, publish lag %d (peak %d), publish wait %s\n",
+			txn.StampsAllocated, txn.Watermark, txn.PublishLag, txn.PublishLagPeak, txn.PublishWait)
+		fmt.Fprintf(out, "| replay reorder: %d frames buffered (peak %d)\n",
+			txn.ReorderBuffered, txn.ReorderPeak)
 		if p := rs.primary(); p != nil {
 			followers := p.Status()
 			fmt.Fprintf(out, "| replication: primary at epoch %d, %d followers\n", p.Epoch(), len(followers))

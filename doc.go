@@ -65,8 +65,13 @@
 // execute against one live engine (queries lock-free against mutators
 // — copy-on-write documents and catalog snapshots — with bounded
 // admission; mutations are snapshot-isolated MVCC transactions with
-// first-writer-wins conflict detection, so writers on disjoint tables
-// commit in parallel and Session.Begin exposes explicit multi-
+// first-writer-wins conflict detection and sharded stamp allocation —
+// commits draw a stamp from an atomic counter and publish per table,
+// a watermark gating visibility until all smaller stamps have
+// published, so writers on disjoint tables commit in parallel with no
+// database-wide critical section, snapshot transactions probe
+// versioned indexes as of their stamp (xindex.ScanAsOf), and
+// Session.Begin exposes explicit multi-
 // statement transactions), executed statements land in a decaying
 // workload capture
 // ring keyed by normalized statement, and a tuning loop periodically
@@ -85,7 +90,10 @@
 // tuning loop's index create/drop — as CRC-checked, length-prefixed
 // records — multi-statement transactions framed by txn-begin/commit
 // records so recovery applies committed transactions atomically and
-// discards unterminated frames — and a mutating statement returns
+// discards unterminated frames; every record carries its commit stamp
+// and replay (server.Applier) restores stamp order through a reorder
+// buffer when disjoint-table commits interleaved in the log — and a
+// mutating statement returns
 // only after wal.Log.Commit makes its LSN durable. Commits group:
 // concurrent writers batch into
 // one fsync (SyncAlways), or flush to the OS with a background fsync

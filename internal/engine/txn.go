@@ -7,12 +7,16 @@
 // (self-maintained online indexes update themselves from the change
 // feed when the write set applies).
 //
-// Reads inside a transaction are scan-based: the snapshot's table
-// views resolve versions by commit stamp, while live indexes track the
-// live table — entries for versions committed after the snapshot may
-// be present, and entries this snapshot still needs may already be
-// gone. Rather than version the index entries, transactional matching
-// scans the snapshot. The serving read path (plain queries) is
+// Reads inside a transaction are version-aware: self-maintained
+// (online) index entries carry the commit stamp of the version they
+// index and a tombstone stamp when superseded, so a transaction can
+// run index plans filtered to its snapshot stamp (xindex.ScanAsOf)
+// instead of scanning the table — overlay writes (this transaction's
+// uncommitted inserts/deletes/replacements) are layered over the index
+// candidates exactly as they are over a scan. Engine-maintained
+// indexes update after commit, outside the publish section, so they
+// are not snapshot-exact; statements whose plans touch one fall back
+// to scanning the snapshot. The serving read path (plain queries) is
 // unaffected: it executes against live state with index plans exactly
 // as before.
 package engine
@@ -20,6 +24,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"xixa/internal/storage"
@@ -118,7 +123,11 @@ func (tx *Txn) Execute(stmt *xquery.Statement) ([]xindex.Ref, Stats, error) {
 // matchDocs finds the documents satisfying the statement's normalized
 // path in the transaction's view of the table: snapshot versions with
 // this transaction's deletes hidden, replacements substituted, and
-// uncommitted inserts appended.
+// uncommitted inserts appended. When the optimizer picks an index plan
+// and every chosen index can answer as of the snapshot's stamp, the
+// candidates come from version-aware index scans instead of a table
+// scan; otherwise (no usable plan, or an index too young or not
+// self-maintained) the snapshot is scanned as before.
 func (tx *Txn) matchDocs(stmt *xquery.Statement, st *Stats) ([]*xmltree.Document, error) {
 	tv, err := tx.snap.Table(stmt.Table)
 	if err != nil {
@@ -126,6 +135,9 @@ func (tx *Txn) matchDocs(stmt *xquery.Statement, st *Stats) ([]*xmltree.Document
 	}
 	norm := stmt.NormalizedPath()
 	ov := tx.overlays[stmt.Table]
+	if out, ok := tx.matchViaIndexes(stmt, tv, ov, st); ok {
+		return out, nil
+	}
 	var out []*xmltree.Document
 	tv.Scan(func(d *xmltree.Document) bool {
 		if ov != nil {
@@ -151,6 +163,116 @@ func (tx *Txn) matchDocs(stmt *xquery.Statement, st *Stats) ([]*xmltree.Document
 		}
 	}
 	return out, nil
+}
+
+// matchViaIndexes answers a statement's match phase from version-aware
+// index scans under the transaction's snapshot. It reports ok=false
+// when the index route cannot serve the statement exactly — no index
+// plan, a planning error, or an index that is not self-maintained or
+// whose version bookkeeping starts after the snapshot's stamp — and
+// the caller falls back to scanning.
+//
+// Overlay layering differs from the scan path because index entries
+// reflect committed pre-images: documents this transaction replaced are
+// evaluated against their post-images regardless of index candidacy (a
+// buffered update may move a document into the predicate's range), and
+// this transaction's deletes hide candidates. Every surviving candidate
+// is re-verified against the full path — index ANDing over linear
+// predicate sites over-approximates the match set.
+func (tx *Txn) matchViaIndexes(stmt *xquery.Statement, tv *storage.TableView, ov *overlay, st *Stats) ([]*xmltree.Document, bool) {
+	defs := tx.view.Definitions()
+	if len(defs) == 0 {
+		// Nothing materialized: skip planning entirely (the plan cost
+		// would dwarf the scan on every conflict retry).
+		return nil, false
+	}
+	plan, err := tx.eng.opt.EvaluateIndexes(stmt, defs)
+	if err != nil || !plan.UsesIndexes() {
+		return nil, false
+	}
+	asOf := tx.snap.LSN()
+	indexes := make([]*xindex.Index, len(plan.Accesses))
+	for i, acc := range plan.Accesses {
+		idx, ok := tx.view.Get(acc.Index)
+		if !ok || !idx.SelfMaintained() || asOf < idx.VersionedSince() {
+			return nil, false
+		}
+		indexes[i] = idx
+	}
+
+	// Index ANDing at the snapshot stamp: intersect candidate document
+	// sets from each access.
+	var candidates map[int64]bool
+	for i, acc := range plan.Accesses {
+		st.IndexProbes++
+		docSet := make(map[int64]bool)
+		st.IndexEntriesRead += int64(indexes[i].ScanAsOf(acc.Site.Op, acc.Site.Lit, asOf, func(r xindex.Ref) bool {
+			docSet[r.Doc] = true
+			return true
+		}))
+		if candidates == nil {
+			candidates = docSet
+		} else {
+			for id := range candidates {
+				if !docSet[id] {
+					delete(candidates, id)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+	}
+
+	// Merge candidates with this transaction's replaced documents (their
+	// post-images are invisible to the index) in document-ID order, so
+	// the result order is deterministic.
+	ids := make([]int64, 0, len(candidates))
+	for id := range candidates {
+		if ov != nil && (ov.deleted[id] || ov.replaced[id] != nil) {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if ov != nil {
+		for id := range ov.replaced {
+			if !ov.deleted[id] {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	norm := stmt.NormalizedPath()
+	var out []*xmltree.Document
+	for _, id := range ids {
+		var d *xmltree.Document
+		if ov != nil {
+			if r, ok := ov.replaced[id]; ok {
+				d = r
+			}
+		}
+		if d == nil {
+			sd, ok := tv.Get(id)
+			if !ok {
+				continue
+			}
+			d = sd
+		}
+		st.NodesScanned += int64(d.Len()) // verification re-evaluates the path
+		if len(xpath.Eval(d, norm)) > 0 {
+			out = append(out, d)
+		}
+	}
+	if ov != nil {
+		for _, d := range ov.inserted {
+			st.NodesScanned += int64(d.Len())
+			if len(xpath.Eval(d, norm)) > 0 {
+				out = append(out, d)
+			}
+		}
+	}
+	return out, true
 }
 
 func (tx *Txn) runQuery(stmt *xquery.Statement, st *Stats) ([]xindex.Ref, error) {
@@ -290,7 +412,7 @@ type CommitInfo struct {
 // threaded through (see CommitTx). On storage.ErrConflict nothing was
 // applied and the caller may retry on a fresh transaction. Either way
 // the snapshot is released and the transaction is finished.
-func (tx *Txn) Commit(prepare func([]storage.TxOp) (func() (uint64, error), error)) (CommitInfo, error) {
+func (tx *Txn) Commit(prepare func([]storage.TxOp) (func(uint64) (uint64, error), error)) (CommitInfo, error) {
 	if tx.done {
 		return CommitInfo{}, ErrTxnDone
 	}

@@ -175,7 +175,7 @@ func ReplicaFailover(w io.Writer, scale int) (*ReplicaFailoverResult, error) {
 		Leaf("Sector", "Orphaned").
 		End().End().
 		End().Document()
-	ins, err := wal.EncodeDocInsert("SECURITY", orphan)
+	ins, err := wal.EncodeDocInsert("SECURITY", orphan, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,12 @@
 // LSN 0. A checkpoint may carry a capture sidecar (SaveCaptureFile) so
 // a restarted daemon's tuner warm-starts from the checkpointed
 // workload instead of relearning it.
+//
+// Version 4 added a uvarint commit stamp (the MVCC watermark) right
+// after the LSN: the storage layer's commit-stamp allocator survives a
+// restart by advancing to it, so stamps stay contiguous across the
+// whole log history and replay can order records by stamp. Versions
+// 1-3 still load, with stamp 0.
 package persist
 
 import (
@@ -53,7 +59,8 @@ import (
 )
 
 var (
-	magic    = []byte("XIXADB3\n")
+	magic    = []byte("XIXADB4\n")
+	magicV3  = []byte("XIXADB3\n")
 	magicV2  = []byte("XIXADB2\n")
 	magicV1  = []byte("XIXADB1\n")
 	magicCap = []byte("XIXACAP1")
@@ -97,19 +104,23 @@ func (cw *countingWriter) str(s string) error {
 // SaveDatabase writes a snapshot of db and the given index definitions
 // with no WAL position (LSN 0) — the plain, non-durable snapshot path.
 func SaveDatabase(w io.Writer, db *storage.Database, defs []xindex.Definition) error {
-	return SaveCheckpoint(w, db, defs, 0)
+	return SaveCheckpoint(w, db, defs, 0, 0)
 }
 
 // SaveCheckpoint writes a snapshot stamped with the write-ahead log
-// position it reflects: recovery loads it and replays only the WAL
-// records past lsn.
-func SaveCheckpoint(w io.Writer, db *storage.Database, defs []xindex.Definition, lsn uint64) error {
+// position and MVCC commit stamp (watermark) it reflects: recovery
+// loads it, advances the stamp allocator to stamp, and replays only
+// the WAL records past lsn.
+func SaveCheckpoint(w io.Writer, db *storage.Database, defs []xindex.Definition, lsn, stamp uint64) error {
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw, sum: crc32.New(crcTable)}
 	if err := cw.write(magic); err != nil {
 		return err
 	}
 	if err := cw.uvarint(lsn); err != nil {
+		return err
+	}
+	if err := cw.uvarint(stamp); err != nil {
 		return err
 	}
 	names := db.TableNames()
@@ -251,101 +262,110 @@ func (cr *checkedReader) str() (string, error) {
 }
 
 // LoadDatabase reads a snapshot, verifies its checksum, and rebuilds
-// the database and index definitions, discarding the checkpoint LSN.
+// the database and index definitions, discarding the checkpoint LSN
+// and stamp.
 func LoadDatabase(r io.Reader) (*storage.Database, []xindex.Definition, error) {
-	db, defs, _, err := LoadCheckpoint(r)
+	db, defs, _, _, err := LoadCheckpoint(r)
 	return db, defs, err
 }
 
 // LoadCheckpoint reads a snapshot, verifies its checksum, and rebuilds
 // the database and index definitions, additionally returning the WAL
-// LSN the snapshot was stamped with (0 for version 1/2 snapshots).
-func LoadCheckpoint(r io.Reader) (*storage.Database, []xindex.Definition, uint64, error) {
+// LSN and MVCC commit stamp the snapshot was stamped with (0 for
+// pre-v3 / pre-v4 snapshots respectively).
+func LoadCheckpoint(r io.Reader) (*storage.Database, []xindex.Definition, uint64, uint64, error) {
 	cr := &checkedReader{r: bufio.NewReader(r), sum: crc32.New(crcTable)}
 	head := make([]byte, len(magic))
 	if err := cr.read(head); err != nil {
-		return nil, nil, 0, fmt.Errorf("persist: reading magic: %w", err)
+		return nil, nil, 0, 0, fmt.Errorf("persist: reading magic: %w", err)
 	}
-	v3 := string(head) == string(magic)
+	v4 := string(head) == string(magic)
+	v3 := v4 || string(head) == string(magicV3)
 	v2 := v3 || string(head) == string(magicV2)
 	if !v2 && string(head) != string(magicV1) {
-		return nil, nil, 0, fmt.Errorf("persist: not a xixa snapshot (bad magic %q)", head)
+		return nil, nil, 0, 0, fmt.Errorf("persist: not a xixa snapshot (bad magic %q)", head)
 	}
-	var lsn uint64
+	var lsn, stamp uint64
 	if v3 {
 		var err error
 		if lsn, err = cr.uvarint(); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
+		}
+	}
+	if v4 {
+		var err error
+		if stamp, err = cr.uvarint(); err != nil {
+			return nil, nil, 0, 0, err
 		}
 	}
 	db := storage.NewDatabase()
 	tableCount, err := cr.uvarint()
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	for t := uint64(0); t < tableCount; t++ {
 		name, err := cr.str()
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 		tbl, err := db.CreateTable(name)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 		if v2 {
 			nextID, err := cr.uvarint()
 			if err != nil {
-				return nil, nil, 0, err
+				return nil, nil, 0, 0, err
 			}
 			tbl.SetNextID(int64(nextID))
 		}
 		docCount, err := cr.uvarint()
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 		for d := uint64(0); d < docCount; d++ {
 			if v2 {
 				docID, err := cr.uvarint()
 				if err != nil {
-					return nil, nil, 0, err
+					return nil, nil, 0, 0, err
 				}
 				doc, err := readDoc(cr)
 				if err != nil {
-					return nil, nil, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+					return nil, nil, 0, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
 				}
 				if err := tbl.InsertAt(doc, int64(docID)); err != nil {
-					return nil, nil, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+					return nil, nil, 0, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
 				}
 				continue
 			}
 			doc, err := readDoc(cr)
 			if err != nil {
-				return nil, nil, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
+				return nil, nil, 0, 0, fmt.Errorf("persist: table %s doc %d: %w", name, d, err)
 			}
 			tbl.Insert(doc)
 		}
 	}
 	defCount, err := cr.uvarint()
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	var defs []xindex.Definition
 	for i := uint64(0); i < defCount; i++ {
 		table, err := cr.str()
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 		patText, err := cr.str()
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 		pattern, err := xpath.ParsePattern(patText)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("persist: index %d: %w", i, err)
+			return nil, nil, 0, 0, fmt.Errorf("persist: index %d: %w", i, err)
 		}
 		var kindByte [1]byte
 		if err := cr.read(kindByte[:]); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 		kind := xpath.StringVal
 		if kindByte[0] == 1 {
@@ -356,12 +376,12 @@ func LoadCheckpoint(r io.Reader) (*storage.Database, []xindex.Definition, uint64
 	wantSum := cr.sum.Sum32()
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
-		return nil, nil, 0, fmt.Errorf("persist: reading checksum: %w", err)
+		return nil, nil, 0, 0, fmt.Errorf("persist: reading checksum: %w", err)
 	}
 	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != wantSum {
-		return nil, nil, 0, fmt.Errorf("persist: checksum mismatch (snapshot corrupted)")
+		return nil, nil, 0, 0, fmt.Errorf("persist: checksum mismatch (snapshot corrupted)")
 	}
-	return db, defs, lsn, nil
+	return db, defs, lsn, stamp, nil
 }
 
 func readDoc(cr *checkedReader) (*xmltree.Document, error) {
@@ -504,27 +524,29 @@ func SyncDir(dir string) error {
 // SaveFile writes a snapshot to path atomically (temp file + fsync +
 // rename + directory fsync).
 func SaveFile(path string, db *storage.Database, defs []xindex.Definition) error {
-	return SaveCheckpointFile(path, db, defs, 0)
+	return SaveCheckpointFile(path, db, defs, 0, 0)
 }
 
-// SaveCheckpointFile writes an LSN-stamped snapshot to path atomically.
-func SaveCheckpointFile(path string, db *storage.Database, defs []xindex.Definition, lsn uint64) error {
+// SaveCheckpointFile writes an LSN- and stamp-stamped snapshot to path
+// atomically.
+func SaveCheckpointFile(path string, db *storage.Database, defs []xindex.Definition, lsn, stamp uint64) error {
 	return writeFileAtomic(path, func(w io.Writer) error {
-		return SaveCheckpoint(w, db, defs, lsn)
+		return SaveCheckpoint(w, db, defs, lsn, stamp)
 	})
 }
 
 // LoadFile reads a snapshot from path.
 func LoadFile(path string) (*storage.Database, []xindex.Definition, error) {
-	db, defs, _, err := LoadCheckpointFile(path)
+	db, defs, _, _, err := LoadCheckpointFile(path)
 	return db, defs, err
 }
 
-// LoadCheckpointFile reads an LSN-stamped snapshot from path.
-func LoadCheckpointFile(path string) (*storage.Database, []xindex.Definition, uint64, error) {
+// LoadCheckpointFile reads an LSN- and stamp-stamped snapshot from
+// path.
+func LoadCheckpointFile(path string) (*storage.Database, []xindex.Definition, uint64, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	defer f.Close()
 	return LoadCheckpoint(f)

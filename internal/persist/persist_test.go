@@ -426,12 +426,12 @@ func TestV2SnapshotsStillLoad(t *testing.T) {
 	}
 	tbl.Delete(1)
 	raw := saveV2(t, db, snapshotDefs())
-	db2, defs, lsn, err := LoadCheckpoint(bytes.NewReader(raw))
+	db2, defs, lsn, stamp, err := LoadCheckpoint(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatalf("loading v2 snapshot: %v", err)
 	}
-	if lsn != 0 {
-		t.Fatalf("v2 snapshot loaded with LSN %d, want 0", lsn)
+	if lsn != 0 || stamp != 0 {
+		t.Fatalf("v2 snapshot loaded with LSN %d stamp %d, want 0/0", lsn, stamp)
 	}
 	if len(defs) != len(snapshotDefs()) {
 		t.Fatalf("loaded %d defs, want %d", len(defs), len(snapshotDefs()))
@@ -450,15 +450,16 @@ func TestCheckpointLSNRoundTrip(t *testing.T) {
 	db.MustCreateTable("T").Insert(xmltree.MustParse(`<a><b>x</b></a>`))
 	for _, lsn := range []uint64{0, 1, 127, 128, 1 << 40} {
 		var buf bytes.Buffer
-		if err := SaveCheckpoint(&buf, db, snapshotDefs(), lsn); err != nil {
+		stamp := lsn * 3
+		if err := SaveCheckpoint(&buf, db, snapshotDefs(), lsn, stamp); err != nil {
 			t.Fatal(err)
 		}
-		_, defs, got, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+		_, defs, got, gotStamp, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			t.Fatalf("lsn %d: %v", lsn, err)
 		}
-		if got != lsn {
-			t.Fatalf("LSN round trip: got %d, want %d", got, lsn)
+		if got != lsn || gotStamp != stamp {
+			t.Fatalf("LSN/stamp round trip: got %d/%d, want %d/%d", got, gotStamp, lsn, stamp)
 		}
 		if len(defs) != len(snapshotDefs()) {
 			t.Fatalf("lsn %d: %d defs, want %d", lsn, len(defs), len(snapshotDefs()))
@@ -476,7 +477,7 @@ func TestCorruptByteRegions(t *testing.T) {
 		tbl.Insert(xmltree.MustParse(`<Security><Symbol>AAA</Symbol><Yield>4.5</Yield></Security>`))
 	}
 	var buf bytes.Buffer
-	if err := SaveCheckpoint(&buf, db, snapshotDefs(), 42); err != nil {
+	if err := SaveCheckpoint(&buf, db, snapshotDefs(), 42, 7); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
@@ -497,7 +498,7 @@ func TestCorruptByteRegions(t *testing.T) {
 		t.Run(r.name, func(t *testing.T) {
 			mut := append([]byte(nil), data...)
 			mut[r.off] ^= 0xFF
-			if _, _, _, err := LoadCheckpoint(bytes.NewReader(mut)); err == nil {
+			if _, _, _, _, err := LoadCheckpoint(bytes.NewReader(mut)); err == nil {
 				t.Fatalf("flip at %d (%s) loaded without error", r.off, r.name)
 			}
 		})

@@ -164,7 +164,7 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	f.epoch.Store(epoch)
 	f.applied.Store(srv.WAL().LastLSN())
 	f.primaryFlushed.Store(srv.WAL().LastLSN())
-	f.applier = server.NewApplier(srv.DB(), srv.Catalog().Definitions(), srv.WAL().LastLSN())
+	f.applier = server.NewApplier(srv.DB(), srv.Catalog().Definitions(), srv.WAL().LastLSN(), srv.DB().Watermark())
 	f.applier.SetIndexHook(func(create bool, def xindex.Definition) error {
 		if create {
 			_, err := srv.Manager().EnsureBuilt(def)
@@ -348,6 +348,14 @@ func (f *Follower) Promote() (uint64, error) {
 		return 0, ErrPromoted
 	}
 	f.stopLoop()
+	// Completed frames parked behind a stamp gap (their lower-stamped
+	// sibling's records died with the primary) must publish before the
+	// node opens for writes; the gap commutes, so the flushed history is
+	// consistent and the local log stays byte-identical.
+	if err := f.applier.Flush(); err != nil {
+		f.promoted.Store(false)
+		return 0, err
+	}
 	if f.applier.FrameOpen() {
 		if err := f.srv.WAL().TruncateTail(f.applier.CommittedLSN()); err != nil {
 			return 0, err
@@ -441,9 +449,18 @@ func (f *Follower) streamOnce() (progressed bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	// Publish the connection and re-check stop under one mutex hold:
+	// stopLoop interrupts a stream by closing f.conn, so a stop that
+	// landed between loop's check and this dial would otherwise find
+	// f.conn nil, close nothing, and leave this stream running forever.
 	f.mu.Lock()
 	f.conn = conn
+	stopped := f.stopped()
 	f.mu.Unlock()
+	if stopped {
+		conn.Close()
+		return false, errors.New("replica: follower stopped")
+	}
 	defer func() {
 		f.mu.Lock()
 		f.conn = nil

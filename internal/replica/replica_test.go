@@ -396,7 +396,7 @@ func TestPromoteTruncatesOpenFrame(t *testing.T) {
 	// operation reach the wire, the commit record never does. The
 	// records stream to the follower (Sync flushes them) and buffer in
 	// its applier without publishing.
-	ins, err := wal.EncodeDocInsert("SECURITY", secDoc("PMLOST", 1))
+	ins, err := wal.EncodeDocInsert("SECURITY", secDoc("PMLOST", 1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

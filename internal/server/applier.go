@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 
 	"xixa/internal/storage"
 	"xixa/internal/wal"
@@ -17,11 +18,23 @@ import (
 // (which feed it records as they stream in), and point-in-time restore
 // (RestoreToLSN feeds it archived history up to the target).
 //
+// Because commits on disjoint tables append to the log outside any
+// shared lock, log order and commit-stamp order may differ. The
+// applier restores stamp order with a reorder buffer: a completed
+// frame whose stamp is not yet next in sequence parks until the gap
+// below it closes, then the whole run drains in stamp order. Frames
+// that share a table are appended under that table's commit lock, so
+// they can never arrive stamp-inverted — only commuting
+// (disjoint-table) frames park. Unstamped records (stamp 0, from
+// legacy or synthetic logs) apply immediately in arrival order.
+//
 // Records must arrive in LSN order with no gaps; a record at or below
 // AppliedLSN is skipped silently (the dedup a follower needs when it
 // re-streams from its last durable position). An Applier is not safe
 // for concurrent use — callers serialize Apply against their own
-// reads.
+// reads. Callers must Flush before reading final state: completed
+// frames above a stamp gap (whose lower stamp died with the log) are
+// still parked until then.
 type Applier struct {
 	db   *storage.Database
 	defs []xindex.Definition
@@ -32,25 +45,33 @@ type Applier struct {
 	onIndex func(create bool, def xindex.Definition) error
 
 	applied   uint64 // LSN of the last record consumed
-	committed uint64 // LSN of the last record whose effects are fully published
+	committed uint64 // LSN of the last record consumed at a frame boundary
 	ops       int    // document/index operations actually applied
 
 	pending    []wal.Record // buffered ops of the open transaction frame
 	inTxn      bool
 	txnID      uint64
 	frameStart uint64 // LSN of the open frame's begin record
+
+	nextStamp uint64                  // the stamp the next in-order frame must carry
+	reorder   map[uint64][]wal.Record // parked complete frames by stamp
+	reorderN  uint64                  // frames that ever parked
+	reorderPk uint64                  // max frames parked at once
 }
 
 // NewApplier starts an applier over db whose state already reflects
-// every record through afterLSN (a checkpoint's stamp, or zero for an
-// empty database). defs is the index definition list as of afterLSN;
-// the applier folds create/drop records into its own copy.
-func NewApplier(db *storage.Database, defs []xindex.Definition, afterLSN uint64) *Applier {
+// every record through afterLSN (a checkpoint's position, or zero for
+// an empty database) and every commit stamp through afterStamp (the
+// checkpoint's watermark). defs is the index definition list as of
+// afterLSN; the applier folds create/drop records into its own copy.
+func NewApplier(db *storage.Database, defs []xindex.Definition, afterLSN, afterStamp uint64) *Applier {
 	return &Applier{
 		db:        db,
 		defs:      append([]xindex.Definition(nil), defs...),
 		applied:   afterLSN,
 		committed: afterLSN,
+		nextStamp: afterStamp + 1,
+		reorder:   make(map[uint64][]wal.Record),
 	}
 }
 
@@ -65,10 +86,12 @@ func (a *Applier) SetIndexHook(h func(create bool, def xindex.Definition) error)
 // records buffered inside a still-open transaction frame.
 func (a *Applier) AppliedLSN() uint64 { return a.applied }
 
-// CommittedLSN is the LSN of the last record whose effects are fully
-// published: equal to AppliedLSN at a frame boundary, and the LSN just
-// before the open frame's begin record while one is buffering. This is
-// the position a promotion truncates the log back to.
+// CommittedLSN is the LSN of the last record consumed at a frame
+// boundary: equal to AppliedLSN when no frame is open, and the LSN
+// just before the open frame's begin record while one is buffering.
+// Frames parked in the reorder buffer count as committed — they are
+// guaranteed to publish at Flush — so this is the position a promotion
+// (which flushes first) truncates the log back to.
 func (a *Applier) CommittedLSN() uint64 { return a.committed }
 
 // FrameOpen reports that a transaction frame is buffering — a begin
@@ -77,6 +100,11 @@ func (a *Applier) FrameOpen() bool { return a.inTxn }
 
 // OpsApplied is the number of document and index operations published.
 func (a *Applier) OpsApplied() int { return a.ops }
+
+// ReorderStats reports how many completed frames arrived ahead of a
+// stamp gap and parked in the reorder buffer, and the largest number
+// parked at once.
+func (a *Applier) ReorderStats() (buffered, peak uint64) { return a.reorderN, a.reorderPk }
 
 // Defs returns the index definition list with every applied
 // create/drop folded in.
@@ -104,22 +132,96 @@ func (a *Applier) Apply(rec wal.Record) error {
 		if !a.inTxn || rec.TxnID != a.txnID {
 			return fmt.Errorf("server: replay LSN %d: txn-commit %d without matching begin", rec.LSN, rec.TxnID)
 		}
-		for i := range a.pending {
-			if err := a.applyOp(&a.pending[i]); err != nil {
-				return err
-			}
-		}
+		frame := append([]wal.Record(nil), a.pending...)
 		a.inTxn = false
 		a.pending = a.pending[:0]
+		if err := a.enqueueFrame(rec.Stamp, rec.LSN, frame); err != nil {
+			return err
+		}
+		a.committed = rec.LSN
+	case wal.RecDocInsert, wal.RecDocReplace, wal.RecDocRemove:
+		if a.inTxn {
+			a.pending = append(a.pending, rec)
+			return nil
+		}
+		// A bare document record is a self-framing single-op commit.
+		if err := a.enqueueFrame(rec.Stamp, rec.LSN, []wal.Record{rec}); err != nil {
+			return err
+		}
 		a.committed = rec.LSN
 	default:
 		if a.inTxn {
-			a.pending = append(a.pending, rec)
-		} else {
-			if err := a.applyOp(&rec); err != nil {
-				return err
-			}
-			a.committed = rec.LSN
+			return fmt.Errorf("server: replay LSN %d: record kind %v inside txn frame", rec.LSN, rec.Kind)
+		}
+		if err := a.applyIndex(&rec); err != nil {
+			return err
+		}
+		a.committed = rec.LSN
+	}
+	return nil
+}
+
+// enqueueFrame routes one completed frame: unstamped frames apply
+// immediately in arrival order; stamped frames apply when their stamp
+// is next in sequence (then drain any parked successors) and park
+// otherwise. Stamps below the sequence are duplicates of
+// already-applied commits and are dropped.
+func (a *Applier) enqueueFrame(stamp, lsn uint64, frame []wal.Record) error {
+	if stamp == 0 {
+		return a.applyLegacyFrame(frame)
+	}
+	if stamp < a.nextStamp {
+		return nil
+	}
+	if stamp > a.nextStamp {
+		a.reorder[stamp] = frame
+		a.reorderN++
+		if n := uint64(len(a.reorder)); n > a.reorderPk {
+			a.reorderPk = n
+		}
+		return nil
+	}
+	if err := a.applyFrame(stamp, lsn, frame); err != nil {
+		return err
+	}
+	a.nextStamp = stamp + 1
+	for {
+		next, ok := a.reorder[a.nextStamp]
+		if !ok {
+			return nil
+		}
+		delete(a.reorder, a.nextStamp)
+		if err := a.applyFrame(a.nextStamp, 0, next); err != nil {
+			return err
+		}
+		a.nextStamp++
+	}
+}
+
+// Flush publishes every frame still parked in the reorder buffer, in
+// ascending stamp order. A gap in the stamps means the missing commit
+// died with the log before its records were appended; since frames
+// sharing a table can never arrive stamp-inverted, the missing commit
+// commutes with everything parked above it and skipping the gap yields
+// a consistent history. Callers must Flush before reading final state
+// (end of recovery and restore, promotion).
+func (a *Applier) Flush() error {
+	if len(a.reorder) == 0 {
+		return nil
+	}
+	stamps := make([]uint64, 0, len(a.reorder))
+	for s := range a.reorder {
+		stamps = append(stamps, s)
+	}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+	for _, s := range stamps {
+		frame := a.reorder[s]
+		delete(a.reorder, s)
+		if err := a.applyFrame(s, 0, frame); err != nil {
+			return err
+		}
+		if s >= a.nextStamp {
+			a.nextStamp = s + 1
 		}
 	}
 	return nil
@@ -132,35 +234,72 @@ func (a *Applier) table(name string) (*storage.Table, error) {
 	return a.db.CreateTable(name)
 }
 
-// applyOp publishes one non-framing record. A copy-on-write update is
-// one RecDocReplace record applied as a storage.Replace, preserving
-// the document's insertion-order position — the atomicity lives in the
-// record itself, so no tear can leave the remove half applied without
-// its insert (a state that never existed in memory).
-func (a *Applier) applyOp(rec *wal.Record) error {
+// applyFrame publishes one committed frame at its recorded stamp via
+// storage.ApplyCommitted: document IDs are explicit, no validation
+// runs, and the database's stamp allocator advances to the stamp so
+// post-recovery commits continue the sequence.
+func (a *Applier) applyFrame(stamp, lsn uint64, frame []wal.Record) error {
+	ops := make([]storage.TxOp, 0, len(frame))
+	for i := range frame {
+		rec := &frame[i]
+		// Auto-create the table first: replay may precede any checkpoint
+		// that knew about it.
+		if _, err := a.table(rec.Table); err != nil {
+			return err
+		}
+		switch rec.Kind {
+		case wal.RecDocInsert:
+			ops = append(ops, storage.TxOp{Table: rec.Table, Kind: storage.TxInsert, DocID: rec.DocID, Doc: rec.Doc})
+		case wal.RecDocReplace:
+			ops = append(ops, storage.TxOp{Table: rec.Table, Kind: storage.TxReplace, DocID: rec.DocID, Doc: rec.Doc})
+		case wal.RecDocRemove:
+			ops = append(ops, storage.TxOp{Table: rec.Table, Kind: storage.TxDelete, DocID: rec.DocID})
+		default:
+			return fmt.Errorf("server: replay LSN %d: record kind %v inside txn frame", rec.LSN, rec.Kind)
+		}
+	}
+	if err := a.db.ApplyCommitted(stamp, ops); err != nil {
+		if lsn != 0 {
+			return fmt.Errorf("server: replay LSN %d: %w", lsn, err)
+		}
+		return fmt.Errorf("server: replay stamp %d: %w", stamp, err)
+	}
+	a.ops += len(ops)
+	return nil
+}
+
+// applyLegacyFrame publishes an unstamped frame through the table's
+// live mutation paths, in arrival order — the pre-stamp log format and
+// synthetic test logs.
+func (a *Applier) applyLegacyFrame(frame []wal.Record) error {
+	for i := range frame {
+		rec := &frame[i]
+		tbl, err := a.table(rec.Table)
+		if err != nil {
+			return err
+		}
+		switch rec.Kind {
+		case wal.RecDocInsert:
+			if err := tbl.InsertAt(rec.Doc, rec.DocID); err != nil {
+				return fmt.Errorf("server: replay LSN %d: %w", rec.LSN, err)
+			}
+		case wal.RecDocReplace:
+			if !tbl.Replace(rec.DocID, rec.Doc) {
+				return fmt.Errorf("server: replay LSN %d: replace of missing doc %d in %s", rec.LSN, rec.DocID, rec.Table)
+			}
+		case wal.RecDocRemove:
+			tbl.Delete(rec.DocID)
+		default:
+			return fmt.Errorf("server: replay LSN %d: record kind %v inside txn frame", rec.LSN, rec.Kind)
+		}
+		a.ops++
+	}
+	return nil
+}
+
+// applyIndex publishes one index lifecycle record.
+func (a *Applier) applyIndex(rec *wal.Record) error {
 	switch rec.Kind {
-	case wal.RecDocInsert:
-		tbl, err := a.table(rec.Table)
-		if err != nil {
-			return err
-		}
-		if err := tbl.InsertAt(rec.Doc, rec.DocID); err != nil {
-			return fmt.Errorf("server: replay LSN %d: %w", rec.LSN, err)
-		}
-	case wal.RecDocReplace:
-		tbl, err := a.table(rec.Table)
-		if err != nil {
-			return err
-		}
-		if !tbl.Replace(rec.DocID, rec.Doc) {
-			return fmt.Errorf("server: replay LSN %d: replace of missing doc %d in %s", rec.LSN, rec.DocID, rec.Table)
-		}
-	case wal.RecDocRemove:
-		tbl, err := a.table(rec.Table)
-		if err != nil {
-			return err
-		}
-		tbl.Delete(rec.DocID)
 	case wal.RecIndexCreate:
 		a.defs = addDef(a.defs, rec.Def)
 		if a.onIndex != nil {

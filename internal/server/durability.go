@@ -108,13 +108,18 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 	// hiding a checkpoint, and recovering without it loses data.
 	var db *storage.Database
 	var defs []xindex.Definition
+	var checkpointStamp uint64
 	chkPath := filepath.Join(cfg.WALDir, checkpointFile)
 	hadCheckpoint := false
 	if _, err := os.Stat(chkPath); err == nil {
-		db, defs, info.CheckpointLSN, err = persist.LoadCheckpointFile(chkPath)
+		db, defs, info.CheckpointLSN, checkpointStamp, err = persist.LoadCheckpointFile(chkPath)
 		if err != nil {
 			return nil, nil, fmt.Errorf("server: loading checkpoint: %w", err)
 		}
+		// The snapshot already reflects every commit through its stamp;
+		// advance the allocator so post-recovery commits continue the
+		// sequence instead of re-issuing stamps the image covers.
+		db.AdvanceStamp(checkpointStamp)
 		hadCheckpoint = true
 	} else if !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("server: checking checkpoint: %w", err)
@@ -173,8 +178,10 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 		db = storage.NewDatabase()
 	}
 
-	// Redo the tail past the checkpoint through the shared applier.
-	applier := NewApplier(db, defs, info.CheckpointLSN)
+	// Redo the tail past the checkpoint through the shared applier,
+	// then flush: completed frames parked above a stamp gap (the gap's
+	// commit died with the log) still publish, in stamp order.
+	applier := NewApplier(db, defs, info.CheckpointLSN, checkpointStamp)
 	for i := range scanned.Records {
 		if scanned.Records[i].LSN <= info.CheckpointLSN {
 			continue
@@ -182,6 +189,9 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 		if err := applier.Apply(scanned.Records[i]); err != nil {
 			return fail(err)
 		}
+	}
+	if err := applier.Flush(); err != nil {
+		return fail(err)
 	}
 	defs = applier.Defs()
 	info.Replayed = applier.OpsApplied()
@@ -199,6 +209,7 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 	}
 
 	s := New(db, cfg)
+	s.reorderBuffered, s.reorderPeak = applier.ReorderStats()
 	for _, def := range defs {
 		if _, err := s.mgr.EnsureBuilt(def); err != nil {
 			return fail(err)
@@ -297,11 +308,11 @@ func (s *Server) attachSink() {
 			// atomic RecDocReplace, so no crash can tear the pair.
 			switch {
 			case c.Kind == storage.DocInserted && c.Replaced:
-				s.wal.AppendDocReplace(t.Name, c.Doc)
+				s.wal.AppendDocReplace(t.Name, c.Doc, c.LSN)
 			case c.Kind == storage.DocInserted:
-				s.wal.AppendDocInsert(t.Name, c.Doc)
+				s.wal.AppendDocInsert(t.Name, c.Doc, c.LSN)
 			case c.Kind == storage.DocRemoved && !c.Replaced:
-				s.wal.AppendDocRemove(t.Name, c.Doc.DocID)
+				s.wal.AppendDocRemove(t.Name, c.Doc.DocID, c.LSN)
 			}
 		})
 		s.walSubs = append(s.walSubs, walSub{tbl: t, id: id})
@@ -336,7 +347,11 @@ func (s *Server) checkpointLocked() error {
 	// lifecycle changes (loopMu) can append, so LastLSN is exactly the
 	// state the snapshot captures.
 	lsn := s.wal.LastLSN()
-	if err := persist.SaveCheckpointFile(filepath.Join(s.walDir, checkpointFile), s.db, s.cat.Definitions(), lsn); err != nil {
+	// With the commit gate held, no commit is mid-publish: the watermark
+	// equals the allocator and stamps issued after the checkpoint are
+	// strictly greater — exactly what the applier's duplicate-stamp
+	// dedup relies on at the next recovery.
+	if err := persist.SaveCheckpointFile(filepath.Join(s.walDir, checkpointFile), s.db, s.cat.Definitions(), lsn, s.db.Watermark()); err != nil {
 		return err
 	}
 	if err := persist.SaveCaptureFile(filepath.Join(s.walDir, captureFile), s.capture.Export()); err != nil {

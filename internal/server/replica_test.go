@@ -39,7 +39,7 @@ func TestRecoverTruncatesDanglingFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ins, err := wal.EncodeDocInsert("SECURITY", secDoc("DFLOST", "Recovered", 1))
+	ins, err := wal.EncodeDocInsert("SECURITY", secDoc("DFLOST", "Recovered", 1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,15 +52,16 @@ func RestoreToLSN(walDir, archiveDir string, target uint64) (*RestoreResult, err
 	var db *storage.Database
 	var defs []xindex.Definition
 	base := uint64(0)
+	baseStamp := uint64(0)
 	haveBase := false
 	chkPath := filepath.Join(walDir, checkpointFile)
 	if _, err := os.Stat(chkPath); err == nil {
-		cdb, cdefs, clsn, lerr := persist.LoadCheckpointFile(chkPath)
+		cdb, cdefs, clsn, cstamp, lerr := persist.LoadCheckpointFile(chkPath)
 		if lerr != nil {
 			return nil, fmt.Errorf("server: restore: loading checkpoint: %w", lerr)
 		}
 		if clsn <= target {
-			db, defs, base, haveBase = cdb, cdefs, clsn, true
+			db, defs, base, baseStamp, haveBase = cdb, cdefs, clsn, cstamp, true
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, err
@@ -72,11 +73,11 @@ func RestoreToLSN(walDir, archiveDir string, target uint64) (*RestoreResult, err
 		}
 		for i := len(archived) - 1; i >= 0; i-- {
 			if archived[i].LSN <= target {
-				cdb, cdefs, clsn, lerr := persist.LoadCheckpointFile(archived[i].Path)
+				cdb, cdefs, clsn, cstamp, lerr := persist.LoadCheckpointFile(archived[i].Path)
 				if lerr != nil {
 					return nil, fmt.Errorf("server: restore: loading archived checkpoint %s: %w", archived[i].Path, lerr)
 				}
-				db, defs, base, haveBase = cdb, cdefs, clsn, true
+				db, defs, base, baseStamp, haveBase = cdb, cdefs, clsn, cstamp, true
 				break
 			}
 		}
@@ -106,7 +107,10 @@ func RestoreToLSN(walDir, archiveDir string, target uint64) (*RestoreResult, err
 	}
 	files = append(files, sealed...)
 
-	applier := NewApplier(db, defs, base)
+	if haveBase {
+		db.AdvanceStamp(baseStamp)
+	}
+	applier := NewApplier(db, defs, base, baseStamp)
 	applyFile := func(recs []wal.Record) error {
 		for i := range recs {
 			if recs[i].LSN > target {
@@ -152,6 +156,9 @@ func RestoreToLSN(walDir, archiveDir string, target uint64) (*RestoreResult, err
 	}
 	if applier.AppliedLSN() < target {
 		return nil, fmt.Errorf("server: restore: history ends at LSN %d, short of target %d", applier.AppliedLSN(), target)
+	}
+	if err := applier.Flush(); err != nil {
+		return nil, err
 	}
 
 	res.DB = db

@@ -248,6 +248,12 @@ type Server struct {
 	aborts    atomic.Uint64
 	conflicts atomic.Uint64 // first-writer-wins losers (each retry counts)
 
+	// reorderBuffered/reorderPeak snapshot the recovery applier's
+	// stamp-reorder counters (frames that arrived ahead of a stamp gap
+	// during replay); set once by Recover, read by TxnStats.
+	reorderBuffered uint64
+	reorderPeak     uint64
+
 	sessMu   sync.Mutex
 	sessions int
 	nextSess int64
@@ -358,6 +364,8 @@ type Session struct {
 	stats    engine.Stats
 	executed int64
 	errors   int64
+	retries  int64         // auto-commit conflict retries charged to this session
+	backoff  time.Duration // cumulative conflict backoff slept by this session
 	closed   bool
 }
 
@@ -400,6 +408,14 @@ func (sess *Session) Stats() (engine.Stats, int64, int64) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	return sess.stats, sess.executed, sess.errors
+}
+
+// RetryStats returns the session's cumulative first-writer-wins
+// conflict retries and the total backoff time slept between them.
+func (sess *Session) RetryStats() (retries int64, backoff time.Duration) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.retries, sess.backoff
 }
 
 // Result is one statement's outcome.
@@ -461,7 +477,7 @@ func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 		// fsync, other writers commit and append behind it, so one
 		// fsync covers the whole batch (group commit) and commit
 		// throughput scales with batch size instead of disk latency.
-		refs, st, err = s.executeTxn(stmt)
+		refs, st, err = s.executeTxn(stmt, sess)
 	} else {
 		refs, st, err = s.eng.Execute(stmt)
 	}

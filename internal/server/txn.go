@@ -9,16 +9,21 @@ package server
 //
 // Durability composes with MVCC here: commitTxn threads txnPrepare
 // into engine.Txn.Commit as the storage layer's prepare hook. The hook
-// encodes the write set into WAL payloads outside the publish lock
-// (document encoding is the expensive part), and the returned append
-// closure runs inside it, so the log's record order is exactly the
-// commit-stamp order — a serial replay of the log reproduces the
-// concurrent execution bit for bit. Multi-operation transactions are
-// framed with txn-begin/txn-commit records (wal.AppendTxn keeps the
-// batch contiguous); recovery applies a frame atomically and discards
-// unterminated frames. Single-operation transactions skip the framing:
-// a bare document record is self-framing, and the WAL's CRC tail-scan
-// already drops a torn final record.
+// encodes the write set into WAL payloads before the commit stamp
+// exists (document encoding is the expensive part), and the returned
+// append closure receives the stamp, patches it into the payloads
+// (wal.PatchStamp), and appends the batch while the commit holds its
+// tables' commit locks. Commits on disjoint tables append
+// concurrently, so log order and stamp order may differ; every
+// bare/commit record carries its stamp and replay (server.Applier)
+// reorders frames back into stamp order — a serial replay of the log
+// in stamp order reproduces the concurrent execution bit for bit.
+// Multi-operation transactions are framed with txn-begin/txn-commit
+// records (wal.AppendTxn keeps the batch contiguous); recovery applies
+// a frame atomically and discards unterminated frames.
+// Single-operation transactions skip the framing: a bare document
+// record is self-framing, and the WAL's CRC tail-scan already drops a
+// torn final record.
 
 import (
 	"errors"
@@ -48,20 +53,26 @@ const (
 	conflictBackoffMax  = 5 * time.Millisecond
 )
 
-// sleepConflictBackoff pauses before conflict retry number attempt+1.
-func sleepConflictBackoff(attempt int) {
+// sleepConflictBackoff pauses before conflict retry number attempt+1,
+// returning the time actually slept (sessions account cumulative
+// backoff).
+func sleepConflictBackoff(attempt int) time.Duration {
 	ceil := conflictBackoffBase << uint(attempt)
 	if ceil > conflictBackoffMax {
 		ceil = conflictBackoffMax
 	}
-	time.Sleep(time.Duration(rand.Int63n(int64(ceil))) + 1)
+	d := time.Duration(rand.Int63n(int64(ceil))) + 1
+	time.Sleep(d)
+	return d
 }
 
 // ErrTxnFinished reports Execute/Commit on an already-finished
 // explicit transaction.
 var ErrTxnFinished = errors.New("server: transaction already finished")
 
-// TxnStats are the server-lifetime transaction counters.
+// TxnStats are the server-lifetime transaction counters, including the
+// commit pipeline's stamp-allocator, publish, and replay reorder
+// counters.
 type TxnStats struct {
 	// Commits counts successfully committed mutation transactions.
 	Commits uint64
@@ -71,35 +82,68 @@ type TxnStats struct {
 	// Conflicts counts first-writer-wins validation failures; each
 	// automatic retry that loses again counts separately.
 	Conflicts uint64
+	// StampsAllocated is the total number of commit stamps handed out
+	// by the storage layer's atomic allocator.
+	StampsAllocated uint64
+	// Watermark is the highest commit stamp with every predecessor
+	// published (the stamp a new snapshot reads at).
+	Watermark uint64
+	// PublishLag is the number of commits currently published above the
+	// watermark (finished while a lower stamp was still applying);
+	// PublishLagPeak is its lifetime maximum.
+	PublishLag     uint64
+	PublishLagPeak uint64
+	// PublishWait is the cumulative time commits spent between stamp
+	// allocation and publish completion (WAL append + apply + watermark
+	// bookkeeping).
+	PublishWait time.Duration
+	// ReorderBuffered counts replay frames (recovery on this server)
+	// that arrived ahead of a stamp gap and had to wait in the
+	// applier's reorder buffer; ReorderPeak is the largest number
+	// buffered at once.
+	ReorderBuffered uint64
+	ReorderPeak     uint64
 }
 
 // TxnStats returns the server's transaction counters.
 func (s *Server) TxnStats() TxnStats {
+	mv := s.db.MVCCStats()
 	return TxnStats{
-		Commits:   s.commits.Load(),
-		Aborts:    s.aborts.Load(),
-		Conflicts: s.conflicts.Load(),
+		Commits:         s.commits.Load(),
+		Aborts:          s.aborts.Load(),
+		Conflicts:       s.conflicts.Load(),
+		StampsAllocated: mv.StampsAllocated,
+		Watermark:       mv.Watermark,
+		PublishLag:      mv.PublishLag,
+		PublishLagPeak:  mv.PublishLagPeak,
+		PublishWait:     time.Duration(mv.PublishWaitNs),
+		ReorderBuffered: s.reorderBuffered,
+		ReorderPeak:     s.reorderPeak,
 	}
 }
 
-// encodeTxnOp builds the WAL payload for one buffered write.
+// encodeTxnOp builds the WAL payload for one buffered write. The
+// commit stamp is not yet known — it is encoded as 0 and patched in by
+// the append closure once allocated.
 func encodeTxnOp(op storage.TxOp) ([]byte, error) {
 	switch op.Kind {
 	case storage.TxInsert:
-		return wal.EncodeDocInsert(op.Table, op.Doc)
+		return wal.EncodeDocInsert(op.Table, op.Doc, 0)
 	case storage.TxReplace:
-		return wal.EncodeDocReplace(op.Table, op.Doc)
+		return wal.EncodeDocReplace(op.Table, op.Doc, 0)
 	case storage.TxDelete:
-		return wal.EncodeDocRemove(op.Table, op.DocID), nil
+		return wal.EncodeDocRemove(op.Table, op.DocID, 0), nil
 	}
 	return nil, fmt.Errorf("server: unknown tx op kind %d", op.Kind)
 }
 
 // txnPrepare is the storage prepare hook: called after commit
 // validation with document IDs assigned, before the write set
-// publishes. Encoding happens here, outside the publish lock; the
-// returned closure appends the finished batch inside it.
-func (s *Server) txnPrepare(ops []storage.TxOp) (func() (uint64, error), error) {
+// publishes. Encoding happens here, before the commit stamp exists;
+// the returned closure patches the allocated stamp into every payload
+// and appends the finished batch (under the commit's table locks, so
+// same-table records stay log-ordered by stamp).
+func (s *Server) txnPrepare(ops []storage.TxOp) (func(stamp uint64) (uint64, error), error) {
 	// The last line of defense for replica/fencing enforcement: no
 	// write set may reach the log of a read-only or fenced server, even
 	// through a path that skipped the statement-level check.
@@ -117,7 +161,7 @@ func (s *Server) txnPrepare(ops []storage.TxOp) (func() (uint64, error), error) 
 			}
 			payloads = append(payloads, p)
 		}
-		payloads = append(payloads, wal.EncodeTxnCommit(id))
+		payloads = append(payloads, wal.EncodeTxnCommit(id, 0))
 	} else {
 		p, err := encodeTxnOp(ops[0])
 		if err != nil {
@@ -125,14 +169,19 @@ func (s *Server) txnPrepare(ops []storage.TxOp) (func() (uint64, error), error) 
 		}
 		payloads = append(payloads, p)
 	}
-	return func() (uint64, error) { return s.wal.AppendTxn(payloads) }, nil
+	return func(stamp uint64) (uint64, error) {
+		for _, p := range payloads {
+			wal.PatchStamp(p, stamp)
+		}
+		return s.wal.AppendTxn(payloads)
+	}, nil
 }
 
 // commitTxn commits an engine transaction under the commit gate and,
 // when durable, waits out the group fsync. It maintains the
 // transaction counters; callers only add retry logic.
 func (s *Server) commitTxn(tx *engine.Txn) (engine.CommitInfo, error) {
-	var prep func([]storage.TxOp) (func() (uint64, error), error)
+	var prep func([]storage.TxOp) (func(uint64) (uint64, error), error)
 	if s.wal != nil {
 		prep = s.txnPrepare
 	}
@@ -159,8 +208,10 @@ func (s *Server) commitTxn(tx *engine.Txn) (engine.CommitInfo, error) {
 
 // executeTxn runs one mutating statement as an auto-commit
 // transaction, retrying on first-writer-wins conflicts with a fresh
-// snapshot each time.
-func (s *Server) executeTxn(stmt *xquery.Statement) ([]xindex.Ref, engine.Stats, error) {
+// snapshot each time. When sess is non-nil, conflict retries and the
+// backoff time slept between them are charged to the session's
+// cumulative counters.
+func (s *Server) executeTxn(stmt *xquery.Statement, sess *Session) ([]xindex.Ref, engine.Stats, error) {
 	for attempt := 0; ; attempt++ {
 		tx := s.eng.Begin()
 		refs, st, err := tx.Execute(stmt)
@@ -175,7 +226,13 @@ func (s *Server) executeTxn(stmt *xquery.Statement) ([]xindex.Ref, engine.Stats,
 			return refs, st, nil
 		}
 		if errors.Is(cerr, storage.ErrConflict) && attempt < maxConflictRetries {
-			sleepConflictBackoff(attempt)
+			slept := sleepConflictBackoff(attempt)
+			if sess != nil {
+				sess.mu.Lock()
+				sess.retries++
+				sess.backoff += slept
+				sess.mu.Unlock()
+			}
 			continue
 		}
 		return nil, st, cerr

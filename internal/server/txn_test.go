@@ -273,7 +273,7 @@ func TestRecoverInterleavedTxns(t *testing.T) {
 		t.Fatal(err)
 	}
 	doc.DocID = 999999
-	ins, err := wal.EncodeDocInsert("SECURITY", doc)
+	ins, err := wal.EncodeDocInsert("SECURITY", doc, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

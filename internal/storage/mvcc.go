@@ -9,20 +9,33 @@
 // validates first-writer-wins against the versions committed since the
 // snapshot and applies the whole write set atomically.
 //
-// Locking protocol (acquisition order, outermost first):
-// table.commitMu (sorted by table name) -> mvcc.mu (publish lock) ->
-// mvcc.pinMu -> table.mu.
+// Commit pipeline (no database-wide critical section):
 //
-//   - commitMu serializes committers per table: validation and
-//     commit-time document ID assignment happen under it, so the
-//     versions a transaction validated against cannot change before
-//     its write set publishes. Transactions on disjoint tables never
-//     share a commitMu — that is the multi-writer scaling.
-//   - mvcc.mu, the publish lock, serializes the short apply+stamp
-//     critical section across all tables, so the watermark only ever
-//     advances over fully applied commits and a snapshot can never
-//     observe half a transaction. WAL appends happen inside it, so log
-//     order equals commit-stamp order (serial replay determinism).
+//  1. Stamps come from an atomic allocator (next.Add(1)) — disjoint
+//     commits fetch stamps without sharing a lock.
+//  2. Each commit applies its write set per table, under that table's
+//     mu, while holding the written tables' commitMu set — commits on
+//     disjoint tables publish fully concurrently.
+//  3. Visibility advances by a low-water watermark: a finished commit
+//     marks its stamp published, and the watermark rises over the
+//     longest contiguous prefix of published stamps. A snapshot pins
+//     the watermark, so it can never observe stamp S+1 without S —
+//     half-published interleavings stay invisible.
+//
+// Locking protocol (acquisition order, outermost first):
+// table.commitMu (sorted by table name) -> table.mu -> {mvcc.pinMu,
+// mvcc.pubMu} (leaf locks, never held together with each other).
+//
+//   - commitMu serializes committers per table: validation, commit-time
+//     document ID assignment, WAL append, and apply all happen under
+//     it, so the versions a transaction validated against cannot
+//     change before its write set publishes, and — because the stamp
+//     is allocated while commitMu is held — same-table log order
+//     equals stamp order (only disjoint-table records may permute in
+//     the log; the replay side reorders by stamp).
+//   - pubMu guards the published-stamp set behind the watermark. It is
+//     held for a map insert or a short watermark sweep, never across
+//     an apply.
 //   - pinMu guards the snapshot pin registry. Pins read the watermark
 //     under pinMu, so the garbage-collection horizon (min pinned
 //     stamp) can never race past a snapshot being pinned.
@@ -41,6 +54,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xixa/internal/xmltree"
 )
@@ -54,19 +68,84 @@ type docVersion struct {
 	prev *docVersion
 }
 
-// mvccState is the commit-stamp allocator, publish lock, and snapshot
-// pin registry shared by every table of one database (a standalone
-// NewTable gets a private one).
+// mvccState is the commit-stamp allocator, publish watermark, and
+// snapshot pin registry shared by every table of one database (a
+// standalone NewTable gets a private one).
 type mvccState struct {
-	mu        sync.Mutex    // publish lock: apply + stamp advance
-	watermark atomic.Uint64 // highest fully applied commit stamp
+	next      atomic.Uint64 // last allocated commit stamp
+	watermark atomic.Uint64 // highest W with all stamps <= W published
+
+	pubMu     sync.Mutex
+	published map[uint64]bool // finished stamps above the watermark
+	lagPeak   uint64          // max len(published) observed
+
+	publishNs atomic.Int64 // total ns from stamp allocation to publish
 
 	pinMu sync.Mutex
 	pins  map[uint64]int // pinned stamp -> refcount
 }
 
 func newMVCCState() *mvccState {
-	return &mvccState{pins: make(map[uint64]int)}
+	return &mvccState{
+		published: make(map[uint64]bool),
+		pins:      make(map[uint64]int),
+	}
+}
+
+// allocStamp hands out the next commit stamp. The caller must
+// eventually finish() it (even on failure, as a no-op) or the
+// watermark stalls at stamp-1 forever.
+func (mv *mvccState) allocStamp() uint64 { return mv.next.Add(1) }
+
+// finish marks a stamp fully published and advances the watermark over
+// the contiguous prefix of published stamps. Stamps finishing out of
+// order park in the published set until the gap below them closes.
+func (mv *mvccState) finish(stamp uint64) {
+	mv.pubMu.Lock()
+	if stamp == mv.watermark.Load()+1 {
+		w := stamp
+		for mv.published[w+1] {
+			delete(mv.published, w+1)
+			w++
+		}
+		mv.watermark.Store(w)
+	} else {
+		mv.published[stamp] = true
+		if n := uint64(len(mv.published)); n > mv.lagPeak {
+			mv.lagPeak = n
+		}
+	}
+	mv.pubMu.Unlock()
+}
+
+// advanceTo raises the allocator and watermark to at least stamp — the
+// replay path (recovery, replication, checkpoint load), where stamps
+// arrive pre-ordered from the log rather than from the allocator.
+func (mv *mvccState) advanceTo(stamp uint64) {
+	if stamp == 0 {
+		return
+	}
+	for {
+		cur := mv.next.Load()
+		if cur >= stamp || mv.next.CompareAndSwap(cur, stamp) {
+			break
+		}
+	}
+	mv.pubMu.Lock()
+	if stamp > mv.watermark.Load() {
+		w := stamp
+		for mv.published[w+1] {
+			delete(mv.published, w+1)
+			w++
+		}
+		for s := range mv.published {
+			if s <= w {
+				delete(mv.published, s)
+			}
+		}
+		mv.watermark.Store(w)
+	}
+	mv.pubMu.Unlock()
 }
 
 // pin registers a snapshot at the current watermark. Reading the
@@ -106,9 +185,52 @@ func (mv *mvccState) horizon() uint64 {
 	return h
 }
 
-// Watermark returns the highest fully applied commit stamp — the stamp
-// a snapshot pinned right now would read at.
+// Watermark returns the highest commit stamp with every predecessor
+// fully published — the stamp a snapshot pinned right now would read
+// at.
 func (db *Database) Watermark() uint64 { return db.mv.watermark.Load() }
+
+// AdvanceStamp raises the commit-stamp allocator and watermark to at
+// least stamp. Recovery calls it after loading a checkpoint so stamps
+// allocated after restart continue the pre-crash sequence, keeping the
+// log's stamp space contiguous across restarts.
+func (db *Database) AdvanceStamp(stamp uint64) { db.mv.advanceTo(stamp) }
+
+// MVCCStats is a snapshot of the commit pipeline's counters.
+type MVCCStats struct {
+	// StampsAllocated is the total number of commit stamps handed out
+	// by the atomic allocator (including stamps burned by failed
+	// appends).
+	StampsAllocated uint64
+	// Watermark is the highest stamp with all predecessors published.
+	Watermark uint64
+	// PublishLag is the number of stamps currently published above the
+	// watermark (commits that finished while a lower stamp was still
+	// applying).
+	PublishLag uint64
+	// PublishLagPeak is the maximum PublishLag ever observed.
+	PublishLagPeak uint64
+	// PublishWaitNs is the total nanoseconds commits spent between
+	// stamp allocation and publish completion (append + apply +
+	// watermark bookkeeping).
+	PublishWaitNs int64
+}
+
+// MVCCStats reports the commit pipeline's counters.
+func (db *Database) MVCCStats() MVCCStats {
+	mv := db.mv
+	mv.pubMu.Lock()
+	lag := uint64(len(mv.published))
+	peak := mv.lagPeak
+	mv.pubMu.Unlock()
+	return MVCCStats{
+		StampsAllocated: mv.next.Load(),
+		Watermark:       mv.watermark.Load(),
+		PublishLag:      lag,
+		PublishLagPeak:  peak,
+		PublishWaitNs:   mv.publishNs.Load(),
+	}
+}
 
 // Snapshot is a pinned, immutable view of the whole database at one
 // commit stamp. It must be Released when done or garbage collection
@@ -278,33 +400,13 @@ type TxOp struct {
 // snapshot.
 var ErrConflict = errors.New("storage: write-write conflict (first writer wins)")
 
-// CommitTx atomically commits a transaction's buffered writes taken
-// against a snapshot at snapLSN. It locks only the written tables'
-// commit locks (sorted by name, so commits on disjoint tables run
-// fully concurrently and overlapping lock sets cannot deadlock),
-// validates first-writer-wins — every document the transaction deletes
-// or replaces must still head its chain with a stamp at or below
-// snapLSN — assigns real document IDs to inserts in commit order, and
-// publishes the whole write set under one commit stamp, so snapshots
-// see all of the transaction or none of it.
-//
-// prepare, when non-nil, hooks the write-ahead log in: it is called
-// after ID assignment but before the publish lock (payload encoding
-// runs concurrently with other tables' commits), and the append
-// closure it returns runs inside the publish lock, so log order equals
-// commit-stamp order. The closure's LSN (the transaction's last log
-// record) is returned as logLSN for the caller's group-commit fsync.
-//
-// An empty write set commits trivially: stamp and logLSN are 0 and no
-// state changes. On ErrConflict nothing was applied or logged.
-func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp) (func() (uint64, error), error)) (stamp, logLSN uint64, err error) {
-	if len(ops) == 0 {
-		return 0, 0, nil
-	}
-
-	// Resolve written tables; sort for deadlock-free lock acquisition.
-	names := make([]string, 0, 2)
-	tables := make(map[string]*Table, 2)
+// lockTables resolves the distinct tables of a write set and locks
+// their commit locks in sorted name order (overlapping lock sets
+// cannot deadlock). It returns the sorted names, the table map, and an
+// unlock function; on error nothing stays locked.
+func (db *Database) lockTables(ops []TxOp) (names []string, tables map[string]*Table, unlock func(), err error) {
+	names = make([]string, 0, 2)
+	tables = make(map[string]*Table, 2)
 	for i := range ops {
 		name := ops[i].Table
 		if _, ok := tables[name]; ok {
@@ -312,7 +414,7 @@ func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp
 		}
 		t, terr := db.Table(name)
 		if terr != nil {
-			return 0, 0, terr
+			return nil, nil, nil, terr
 		}
 		tables[name] = t
 		names = append(names, name)
@@ -321,11 +423,49 @@ func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp
 	for _, name := range names {
 		tables[name].commitMu.Lock()
 	}
-	defer func() {
+	return names, tables, func() {
 		for _, name := range names {
 			tables[name].commitMu.Unlock()
 		}
-	}()
+	}, nil
+}
+
+// CommitTx atomically commits a transaction's buffered writes taken
+// against a snapshot at snapLSN. It locks only the written tables'
+// commit locks (sorted by name, so commits on disjoint tables run
+// fully concurrently and overlapping lock sets cannot deadlock),
+// validates first-writer-wins — every document the transaction deletes
+// or replaces must still head its chain with a stamp at or below
+// snapLSN — assigns real document IDs to inserts in commit order,
+// fetches a commit stamp from the atomic allocator, and publishes the
+// whole write set table by table. A snapshot pins the watermark, which
+// only rises over contiguous published stamps, so it sees all of the
+// transaction or none of it; there is no database-wide critical
+// section anywhere on this path.
+//
+// prepare, when non-nil, hooks the write-ahead log in: it is called
+// after ID assignment (payload encoding runs concurrently with other
+// tables' commits), and the append closure it returns runs with the
+// commit stamp, under the written tables' commit locks — so records of
+// commits touching a common table appear in the log in stamp order,
+// and only records of disjoint-table commits may permute (the replay
+// side reorders by stamp). The closure's LSN (the transaction's last
+// log record) is returned as logLSN for the caller's group-commit
+// fsync. If the append fails, the stamp is finished as a no-op so the
+// watermark does not stall.
+//
+// An empty write set commits trivially: stamp and logLSN are 0 and no
+// state changes. On ErrConflict nothing was applied or logged.
+func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp) (func(stamp uint64) (uint64, error), error)) (stamp, logLSN uint64, err error) {
+	if len(ops) == 0 {
+		return 0, 0, nil
+	}
+
+	names, tables, unlock, err := db.lockTables(ops)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer unlock()
 
 	// First-writer-wins validation: under the commit locks the chains
 	// cannot move, so a head stamped at or below the snapshot here is
@@ -346,8 +486,9 @@ func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp
 
 	// Commit-time ID assignment: per table, insert order within the
 	// transaction and commitMu order across transactions — so document
-	// IDs follow commit order and a serial replay of the committed
-	// sequence reproduces them exactly. Aborted transactions burn none.
+	// IDs follow per-table stamp order and a serial replay of the
+	// committed sequence reproduces them exactly. Aborted transactions
+	// burn none.
 	for i := range ops {
 		op := &ops[i]
 		if op.Kind != TxInsert {
@@ -361,24 +502,27 @@ func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp
 		op.Doc.DocID = op.DocID
 	}
 
-	// Encode log payloads outside the publish lock: commits on other
-	// tables publish concurrently while this one serializes documents.
-	var appendLog func() (uint64, error)
+	// Encode log payloads before taking a stamp: a prepare failure
+	// must not burn one (stamps must stay log-contiguous).
+	var appendLog func(stamp uint64) (uint64, error)
 	if prepare != nil {
 		if appendLog, err = prepare(ops); err != nil {
 			return 0, 0, err
 		}
 	}
 
-	// Publish: append to the log and apply the write set, one table
-	// lock hold per table (change subscribers see each table's part of
-	// the transaction as one atomic batch), then advance the watermark.
+	// Stamp and publish. The stamp is allocated under the commit locks,
+	// so per-table stamp order equals commitMu order; the append runs
+	// under the same locks, so same-table records are log-ordered by
+	// stamp.
 	mv := db.mv
-	mv.mu.Lock()
-	defer mv.mu.Unlock()
-	stamp = mv.watermark.Load() + 1
+	stamp = mv.allocStamp()
+	start := time.Now()
 	if appendLog != nil {
-		if logLSN, err = appendLog(); err != nil {
+		if logLSN, err = appendLog(stamp); err != nil {
+			// Burn the stamp as a published no-op so the watermark
+			// (and every later commit's visibility) does not stall.
+			mv.finish(stamp)
 			return 0, 0, err
 		}
 	}
@@ -402,6 +546,64 @@ func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp
 		}
 		t.mu.Unlock()
 	}
-	mv.watermark.Store(stamp)
+	mv.finish(stamp)
+	mv.publishNs.Add(time.Since(start).Nanoseconds())
 	return stamp, logLSN, nil
+}
+
+// ApplyCommitted applies a replayed transaction's write set at its
+// recorded commit stamp — the recovery and replication path. No
+// validation runs (the commit already won on the primary or the
+// pre-crash process) and document IDs are explicit: inserts restore
+// under op.DocID (raising nextID past it), deletes of missing
+// documents are tolerated (idempotent re-apply), replaces of missing
+// documents are errors. The allocator and watermark advance to the
+// stamp, so live commits after recovery continue the log's stamp
+// sequence.
+func (db *Database) ApplyCommitted(stamp uint64, ops []TxOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	names, tables, unlock, err := db.lockTables(ops)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+
+	horizon := db.mv.horizon()
+	for _, name := range names {
+		t := tables[name]
+		t.mu.Lock()
+		for i := range ops {
+			op := &ops[i]
+			if op.Table != name {
+				continue
+			}
+			switch op.Kind {
+			case TxInsert:
+				if op.DocID < 0 {
+					t.mu.Unlock()
+					return fmt.Errorf("storage: replay insert with invalid ID %d in %q", op.DocID, name)
+				}
+				if _, taken := t.docs[op.DocID]; taken {
+					t.mu.Unlock()
+					return fmt.Errorf("storage: replay insert collides with live doc %d in %q", op.DocID, name)
+				}
+				if op.DocID >= t.nextID {
+					t.nextID = op.DocID + 1
+				}
+				t.applyInsertLocked(op.Doc, op.DocID, stamp, horizon, true)
+			case TxDelete:
+				t.applyDeleteLocked(op.DocID, stamp, horizon, true)
+			case TxReplace:
+				if !t.applyReplaceLocked(op.DocID, op.Doc, stamp, horizon, true) {
+					t.mu.Unlock()
+					return fmt.Errorf("storage: replay replace of missing doc %d in %q", op.DocID, name)
+				}
+			}
+		}
+		t.mu.Unlock()
+	}
+	db.mv.advanceTo(stamp)
+	return nil
 }

@@ -200,36 +200,34 @@ func (t *Table) notify(c Change) {
 	}
 }
 
-// beginStamp opens a legacy (non-transactional) mutation: it takes the
-// table's commit lock and the publish lock, and returns the stamp the
-// mutation will commit at plus the garbage-collection horizon. The
-// caller applies under t.mu, then calls endStamp with ok reporting
-// whether anything was applied (the watermark only advances over real
-// commits).
-func (t *Table) beginStamp() (stamp, horizon uint64) {
-	t.commitMu.Lock()
-	t.mv.mu.Lock()
-	return t.mv.watermark.Load() + 1, t.mv.horizon()
-}
-
-func (t *Table) endStamp(stamp uint64, ok bool) {
-	if ok {
-		t.mv.watermark.Store(stamp)
-	}
-	t.mv.mu.Unlock()
-	t.commitMu.Unlock()
+// stampedApply runs one legacy (non-transactional) mutation under the
+// table's commit lock. It allocates a commit stamp from the atomic
+// allocator, applies via fn (under t.mu, with the garbage-collection
+// horizon), and finishes the stamp so the watermark can advance over
+// it. Applicability checks must happen BEFORE calling stampedApply —
+// a no-op must not burn a stamp, or the log's stamp sequence gains
+// holes (replay relies on stamps being contiguous).
+func (t *Table) stampedApply(fn func(stamp, horizon uint64)) uint64 {
+	stamp := t.mv.allocStamp()
+	horizon := t.mv.horizon()
+	t.mu.Lock()
+	fn(stamp, horizon)
+	t.mu.Unlock()
+	t.mv.finish(stamp)
+	return stamp
 }
 
 // Insert stores a document and returns its assigned document ID. The
 // document's paths are interned into the table's shared dictionary.
 func (t *Table) Insert(doc *xmltree.Document) int64 {
-	stamp, horizon := t.beginStamp()
-	t.mu.Lock()
-	id := t.nextID
-	t.nextID++
-	t.applyInsertLocked(doc, id, stamp, horizon, false)
-	t.mu.Unlock()
-	t.endStamp(stamp, true)
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	var id int64
+	t.stampedApply(func(stamp, horizon uint64) {
+		id = t.nextID
+		t.nextID++
+		t.applyInsertLocked(doc, id, stamp, horizon, false)
+	})
 	return id
 }
 
@@ -238,24 +236,23 @@ func (t *Table) Insert(doc *xmltree.Document) int64 {
 // built against. It fails if the ID is already taken, and raises nextID
 // past the restored ID so later Inserts cannot collide.
 func (t *Table) InsertAt(doc *xmltree.Document, id int64) error {
-	stamp, horizon := t.beginStamp()
-	t.mu.Lock()
 	if id < 0 {
-		t.mu.Unlock()
-		t.endStamp(stamp, false)
 		return fmt.Errorf("storage: invalid document ID %d", id)
 	}
-	if _, taken := t.docs[id]; taken {
-		t.mu.Unlock()
-		t.endStamp(stamp, false)
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	t.mu.RLock()
+	_, taken := t.docs[id]
+	t.mu.RUnlock()
+	if taken {
 		return fmt.Errorf("storage: document ID %d already exists in table %q", id, t.Name)
 	}
-	if id >= t.nextID {
-		t.nextID = id + 1
-	}
-	t.applyInsertLocked(doc, id, stamp, horizon, false)
-	t.mu.Unlock()
-	t.endStamp(stamp, true)
+	t.stampedApply(func(stamp, horizon uint64) {
+		if id >= t.nextID {
+			t.nextID = id + 1
+		}
+		t.applyInsertLocked(doc, id, stamp, horizon, false)
+	})
 	return nil
 }
 
@@ -309,12 +306,18 @@ func (t *Table) NextID() int64 {
 // horizon), the chain and its insertion-order slot are swept and
 // compacted, so heavy delete streams stay amortized O(1) per delete.
 func (t *Table) Delete(id int64) bool {
-	stamp, horizon := t.beginStamp()
-	t.mu.Lock()
-	_, ok := t.applyDeleteLocked(id, stamp, horizon, false)
-	t.mu.Unlock()
-	t.endStamp(stamp, ok)
-	return ok
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	t.mu.RLock()
+	_, ok := t.docs[id]
+	t.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	t.stampedApply(func(stamp, horizon uint64) {
+		t.applyDeleteLocked(id, stamp, horizon, false)
+	})
+	return true
 }
 
 // applyDeleteLocked pushes a delete marker for id at the given commit
@@ -363,12 +366,18 @@ func (t *Table) compactLocked() {
 // increments), and the new document keeps the old document's ID and
 // insertion-order position.
 func (t *Table) Replace(id int64, newDoc *xmltree.Document) bool {
-	stamp, horizon := t.beginStamp()
-	t.mu.Lock()
-	ok := t.applyReplaceLocked(id, newDoc, stamp, horizon, false)
-	t.mu.Unlock()
-	t.endStamp(stamp, ok)
-	return ok
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	t.mu.RLock()
+	_, ok := t.docs[id]
+	t.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	t.stampedApply(func(stamp, horizon uint64) {
+		t.applyReplaceLocked(id, newDoc, stamp, horizon, false)
+	})
+	return true
 }
 
 // applyReplaceLocked swaps the document under id for newDoc at the
@@ -410,23 +419,24 @@ func (t *Table) applyReplaceLocked(id int64, newDoc *xmltree.Document, stamp, ho
 // Replace (copy-on-write) instead; Update remains for single-writer
 // batch tooling.
 func (t *Table) Update(id int64, mutate func(*xmltree.Document)) bool {
-	stamp, _ := t.beginStamp()
-	t.mu.Lock()
-	doc, ok := t.docs[id]
+	t.commitMu.Lock()
+	defer t.commitMu.Unlock()
+	t.mu.RLock()
+	_, ok := t.docs[id]
+	t.mu.RUnlock()
 	if !ok {
-		t.mu.Unlock()
-		t.endStamp(stamp, false)
 		return false
 	}
-	t.version++
-	t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version, LSN: stamp, Replaced: true})
-	preBytes := doc.StorageBytes()
-	mutate(doc)
-	t.bytes += doc.StorageBytes() - preBytes
-	t.version++
-	t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version, LSN: stamp, Replaced: true})
-	t.mu.Unlock()
-	t.endStamp(stamp, true)
+	t.stampedApply(func(stamp, _ uint64) {
+		doc := t.docs[id]
+		t.version++
+		t.notify(Change{Kind: DocRemoved, Doc: doc, Version: t.version, LSN: stamp, Replaced: true})
+		preBytes := doc.StorageBytes()
+		mutate(doc)
+		t.bytes += doc.StorageBytes() - preBytes
+		t.version++
+		t.notify(Change{Kind: DocInserted, Doc: doc, Version: t.version, LSN: stamp, Replaced: true})
+	})
 	return true
 }
 
@@ -485,6 +495,19 @@ func (t *Table) SizeBytes() int64 {
 	defer t.mu.RUnlock()
 	return t.bytes
 }
+
+// Horizon returns the garbage-collection floor: the smallest pinned
+// snapshot stamp, or the watermark when nothing is pinned. No version
+// at or below the horizon can ever be read by a new or existing
+// snapshot, so derived structures (version-aware indexes) may prune
+// their history up to it.
+func (t *Table) Horizon() uint64 { return t.mv.horizon() }
+
+// StampCeiling returns the last commit stamp handed out by the
+// allocator: every commit that began before this call carries a stamp
+// at or below the returned value. Derived structures use it to bound
+// the stamps of events that predate their subscription.
+func (t *Table) StampCeiling() uint64 { return t.mv.next.Load() }
 
 // Version returns the mutation counter, used by the statistics module
 // to detect stale statistics.

@@ -70,6 +70,13 @@ type Record struct {
 	LSN   uint64
 	Kind  RecKind
 	Table string
+	// Stamp is the MVCC commit stamp of a RecDocInsert, RecDocReplace,
+	// RecDocRemove, or RecTxnCommit record. Log order and stamp order
+	// may differ for commits on disjoint tables (appends race outside
+	// any global lock), so replay applies frames in stamp order, not
+	// log order. Zero means unstamped (legacy/synthetic records):
+	// replay applies those in arrival order.
+	Stamp uint64
 	// DocID identifies the document for RecDocInsert and RecDocRemove.
 	DocID int64
 	// Doc is the full document payload of a RecDocInsert or
@@ -85,11 +92,38 @@ type Record struct {
 
 // payload builders — frame layout per kind:
 //
-//	doc-insert:   kind, str table, uvarint docID, persist doc encoding
-//	doc-replace:  kind, str table, uvarint docID, persist doc encoding
-//	doc-remove:   kind, str table, uvarint docID
+//	doc-insert:   kind, stamp (8B LE), str table, uvarint docID, persist doc encoding
+//	doc-replace:  kind, stamp (8B LE), str table, uvarint docID, persist doc encoding
+//	doc-remove:   kind, stamp (8B LE), str table, uvarint docID
 //	index-*:      kind, str table, str pattern, byte valueKind
-//	txn-*:        kind, uvarint txnID
+//	txn-begin:    kind, uvarint txnID
+//	txn-commit:   kind, stamp (8B LE), uvarint txnID
+//
+// The stamp is a fixed-width field right after the kind byte so a
+// transaction can pre-encode its payloads before the commit stamp is
+// allocated and patch it in afterwards (PatchStamp).
+
+// stampOffset is where the commit stamp sits in a stamped payload.
+const stampOffset = 1
+
+// stamped reports whether a record kind carries a commit stamp.
+func stamped(kind RecKind) bool {
+	switch kind {
+	case RecDocInsert, RecDocReplace, RecDocRemove, RecTxnCommit:
+		return true
+	}
+	return false
+}
+
+// PatchStamp writes the commit stamp into a pre-encoded payload. It is
+// a no-op for kinds that carry no stamp (txn-begin, index records), so
+// a commit can blindly patch its whole payload batch once the stamp is
+// allocated.
+func PatchStamp(payload []byte, stamp uint64) {
+	if len(payload) >= stampOffset+8 && stamped(RecKind(payload[0])) {
+		binary.LittleEndian.PutUint64(payload[stampOffset:stampOffset+8], stamp)
+	}
+}
 
 func putStr(b *bytes.Buffer, s string) {
 	var tmp [binary.MaxVarintLen64]byte
@@ -102,20 +136,26 @@ func putUvarint(b *bytes.Buffer, v uint64) {
 	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
 }
 
+func putStamp(b *bytes.Buffer, stamp uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], stamp)
+	b.Write(tmp[:])
+}
+
 // AppendDocInsert logs a document (with its assigned ID) entering a
-// table, returning the record's LSN.
-func (l *Log) AppendDocInsert(table string, doc *xmltree.Document) (uint64, error) {
-	return l.appendDoc(RecDocInsert, table, doc)
+// table at commit stamp stamp, returning the record's LSN.
+func (l *Log) AppendDocInsert(table string, doc *xmltree.Document, stamp uint64) (uint64, error) {
+	return l.appendDoc(RecDocInsert, table, doc, stamp)
 }
 
 // AppendDocReplace logs an atomic replacement: the document under
 // doc.DocID swaps to this post-image in one record.
-func (l *Log) AppendDocReplace(table string, doc *xmltree.Document) (uint64, error) {
-	return l.appendDoc(RecDocReplace, table, doc)
+func (l *Log) AppendDocReplace(table string, doc *xmltree.Document, stamp uint64) (uint64, error) {
+	return l.appendDoc(RecDocReplace, table, doc, stamp)
 }
 
-func (l *Log) appendDoc(kind RecKind, table string, doc *xmltree.Document) (uint64, error) {
-	p, err := encodeDoc(kind, table, doc)
+func (l *Log) appendDoc(kind RecKind, table string, doc *xmltree.Document, stamp uint64) (uint64, error) {
+	p, err := encodeDoc(kind, table, doc, stamp)
 	if err != nil {
 		return 0, err
 	}
@@ -123,17 +163,18 @@ func (l *Log) appendDoc(kind RecKind, table string, doc *xmltree.Document) (uint
 }
 
 // AppendDocRemove logs a document leaving a table.
-func (l *Log) AppendDocRemove(table string, docID int64) (uint64, error) {
-	return l.append(EncodeDocRemove(table, docID))
+func (l *Log) AppendDocRemove(table string, docID int64, stamp uint64) (uint64, error) {
+	return l.append(EncodeDocRemove(table, docID, stamp))
 }
 
 // Standalone payload encoders: transaction commits pre-encode their
-// record payloads outside the storage publish lock, then hand the
-// batch to AppendTxn in one piece.
+// record payloads outside the commit locks, then hand the batch to
+// AppendTxn in one piece (after PatchStamp fills the commit stamp in).
 
-func encodeDoc(kind RecKind, table string, doc *xmltree.Document) ([]byte, error) {
+func encodeDoc(kind RecKind, table string, doc *xmltree.Document, stamp uint64) ([]byte, error) {
 	var b bytes.Buffer
 	b.WriteByte(byte(kind))
+	putStamp(&b, stamp)
 	putStr(&b, table)
 	putUvarint(&b, uint64(doc.DocID))
 	if err := persist.EncodeDoc(&b, doc); err != nil {
@@ -143,36 +184,43 @@ func encodeDoc(kind RecKind, table string, doc *xmltree.Document) ([]byte, error
 }
 
 // EncodeDocInsert builds the payload AppendDocInsert would log.
-func EncodeDocInsert(table string, doc *xmltree.Document) ([]byte, error) {
-	return encodeDoc(RecDocInsert, table, doc)
+func EncodeDocInsert(table string, doc *xmltree.Document, stamp uint64) ([]byte, error) {
+	return encodeDoc(RecDocInsert, table, doc, stamp)
 }
 
 // EncodeDocReplace builds the payload AppendDocReplace would log.
-func EncodeDocReplace(table string, doc *xmltree.Document) ([]byte, error) {
-	return encodeDoc(RecDocReplace, table, doc)
+func EncodeDocReplace(table string, doc *xmltree.Document, stamp uint64) ([]byte, error) {
+	return encodeDoc(RecDocReplace, table, doc, stamp)
 }
 
 // EncodeDocRemove builds the payload AppendDocRemove would log.
-func EncodeDocRemove(table string, docID int64) []byte {
+func EncodeDocRemove(table string, docID int64, stamp uint64) []byte {
 	var b bytes.Buffer
 	b.WriteByte(byte(RecDocRemove))
+	putStamp(&b, stamp)
 	putStr(&b, table)
 	putUvarint(&b, uint64(docID))
 	return b.Bytes()
 }
 
-func encodeTxn(kind RecKind, txnID uint64) []byte {
+// EncodeTxnBegin builds a transaction-begin frame payload. Begin
+// records carry no stamp — the frame's commit record does.
+func EncodeTxnBegin(txnID uint64) []byte {
 	var b bytes.Buffer
-	b.WriteByte(byte(kind))
+	b.WriteByte(byte(RecTxnBegin))
 	putUvarint(&b, txnID)
 	return b.Bytes()
 }
 
-// EncodeTxnBegin builds a transaction-begin frame payload.
-func EncodeTxnBegin(txnID uint64) []byte { return encodeTxn(RecTxnBegin, txnID) }
-
-// EncodeTxnCommit builds a transaction-commit frame payload.
-func EncodeTxnCommit(txnID uint64) []byte { return encodeTxn(RecTxnCommit, txnID) }
+// EncodeTxnCommit builds a transaction-commit frame payload carrying
+// the frame's commit stamp.
+func EncodeTxnCommit(txnID, stamp uint64) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(RecTxnCommit))
+	putStamp(&b, stamp)
+	putUvarint(&b, txnID)
+	return b.Bytes()
+}
 
 // AppendIndexCreate logs an index definition entering the catalog.
 func (l *Log) AppendIndexCreate(def xindex.Definition) (uint64, error) {
@@ -212,6 +260,15 @@ func (r *byteReader) ReadByte() (byte, error) {
 	return b, nil
 }
 
+func (r *byteReader) stamp() (uint64, error) {
+	if len(r.buf)-r.off < 8 {
+		return 0, fmt.Errorf("wal: truncated stamp")
+	}
+	s := binary.LittleEndian.Uint64(r.buf[r.off : r.off+8])
+	r.off += 8
+	return s, nil
+}
+
 func (r *byteReader) str() (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -239,6 +296,11 @@ func decodeRecord(lsn uint64, payload []byte) (Record, error) {
 		return Record{}, err
 	}
 	rec := Record{LSN: lsn, Kind: RecKind(kb)}
+	if stamped(rec.Kind) {
+		if rec.Stamp, err = r.stamp(); err != nil {
+			return Record{}, err
+		}
+	}
 	switch rec.Kind {
 	case RecDocInsert, RecDocReplace:
 		if rec.Table, err = r.str(); err != nil {

@@ -48,13 +48,13 @@ func TestRoundTripAllRecordKinds(t *testing.T) {
 	def := testDef(t)
 
 	doc := testDoc(t, 7)
-	if _, err := l.AppendDocInsert("SECURITY", doc); err != nil {
+	if _, err := l.AppendDocInsert("SECURITY", doc, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := l.AppendIndexCreate(def); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.AppendDocRemove("SECURITY", 7); err != nil {
+	if _, err := l.AppendDocRemove("SECURITY", 7, 0); err != nil {
 		t.Fatal(err)
 	}
 	lsn, err := l.AppendIndexDrop(def)
@@ -115,7 +115,7 @@ func TestTornFinalRecord(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "wal.log")
 			l, _ := openTestLog(t, path, Options{Policy: SyncOff})
 			for i := 0; i < 5; i++ {
-				if _, err := l.AppendDocInsert("SECURITY", testDoc(t, i)); err != nil {
+				if _, err := l.AppendDocInsert("SECURITY", testDoc(t, i), 0); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -143,7 +143,7 @@ func TestTornFinalRecord(t *testing.T) {
 			}
 			// The tear is gone: appends continue, and a further reopen
 			// sees a clean log.
-			lsn, err := l2.AppendDocRemove("SECURITY", 2)
+			lsn, err := l2.AppendDocRemove("SECURITY", 2, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -173,7 +173,7 @@ func TestCorruptMidFile(t *testing.T) {
 	l, _ := openTestLog(t, path, Options{Policy: SyncOff})
 	var offsets []int64
 	for i := 0; i < 5; i++ {
-		if _, err := l.AppendDocRemove("SECURITY", int64(i)); err != nil {
+		if _, err := l.AppendDocRemove("SECURITY", int64(i), 0); err != nil {
 			t.Fatal(err)
 		}
 		offsets = append(offsets, l.SizeBytes())
@@ -217,7 +217,7 @@ func TestTruncateResetsStartLSN(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	l, _ := openTestLog(t, path, Options{Policy: SyncOff})
 	for i := 0; i < 3; i++ {
-		if _, err := l.AppendDocRemove("SECURITY", int64(i)); err != nil {
+		if _, err := l.AppendDocRemove("SECURITY", int64(i), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -231,7 +231,7 @@ func TestTruncateResetsStartLSN(t *testing.T) {
 		t.Fatalf("size after truncate = %d, want %d", l.SizeBytes(), headerLen)
 	}
 	// Appends continue with the LSN sequence intact.
-	lsn, err := l.AppendDocRemove("SECURITY", 9)
+	lsn, err := l.AppendDocRemove("SECURITY", 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestGroupCommitConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				lsn, err := l.AppendDocRemove("SECURITY", int64(w*1000+i))
+				lsn, err := l.AppendDocRemove("SECURITY", int64(w*1000+i), 0)
 				if err == nil {
 					err = l.Commit(lsn)
 				}
@@ -306,7 +306,7 @@ func TestGroupCommitConcurrent(t *testing.T) {
 func TestBatchedPolicyDurableAfterClose(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	l, _ := openTestLog(t, path, Options{Policy: SyncBatched})
-	lsn, err := l.AppendDocRemove("SECURITY", 1)
+	lsn, err := l.AppendDocRemove("SECURITY", 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +358,7 @@ func TestDocPayloadMatchesPersistEncoding(t *testing.T) {
 	doc.DocID = 42
 	path := filepath.Join(t.TempDir(), "wal.log")
 	l, _ := openTestLog(t, path, Options{Policy: SyncOff})
-	if _, err := l.AppendDocInsert("ORDERS", doc); err != nil {
+	if _, err := l.AppendDocInsert("ORDERS", doc, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -376,7 +376,7 @@ func TestDocReplaceRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	l, _ := openTestLog(t, path, Options{Policy: SyncOff})
 	doc := testDoc(t, 3)
-	if _, err := l.AppendDocReplace("SECURITY", doc); err != nil {
+	if _, err := l.AppendDocReplace("SECURITY", doc, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -405,7 +405,7 @@ func TestPartialHeaderHeals(t *testing.T) {
 	if res.Torn || len(res.Records) != 0 {
 		t.Fatalf("healed log reports torn=%v records=%d", res.Torn, len(res.Records))
 	}
-	if _, err := l.AppendDocRemove("SECURITY", 1); err != nil {
+	if _, err := l.AppendDocRemove("SECURITY", 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -416,13 +416,13 @@ func TestPartialHeaderHeals(t *testing.T) {
 func TestTruncateAdvancesPastLast(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	l, _ := openTestLog(t, path, Options{Policy: SyncOff})
-	if _, err := l.AppendDocRemove("SECURITY", 1); err != nil {
+	if _, err := l.AppendDocRemove("SECURITY", 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Truncate(100); err != nil {
 		t.Fatal(err)
 	}
-	lsn, err := l.AppendDocRemove("SECURITY", 2)
+	lsn, err := l.AppendDocRemove("SECURITY", 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,11 +447,11 @@ func TestAppendTxnFramingRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	l, _ := openTestLog(t, path, Options{Policy: SyncOff})
 
-	ins, err := EncodeDocInsert("SECURITY", testDoc(t, 3))
+	ins, err := EncodeDocInsert("SECURITY", testDoc(t, 3), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := EncodeDocReplace("ORDERS", testDoc(t, 4))
+	rep, err := EncodeDocReplace("ORDERS", testDoc(t, 4), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,8 +459,8 @@ func TestAppendTxnFramingRoundTrip(t *testing.T) {
 		EncodeTxnBegin(42),
 		ins,
 		rep,
-		EncodeDocRemove("SECURITY", 9),
-		EncodeTxnCommit(42),
+		EncodeDocRemove("SECURITY", 9, 0),
+		EncodeTxnCommit(42, 0),
 	}
 
 	// Standalone appends race the batch from another goroutine; the
@@ -469,7 +469,7 @@ func TestAppendTxnFramingRoundTrip(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 50; i++ {
-			if _, err := l.AppendDocRemove("NOISE", int64(i)); err != nil {
+			if _, err := l.AppendDocRemove("NOISE", int64(i), 0); err != nil {
 				t.Error(err)
 				return
 			}

@@ -82,12 +82,15 @@ func (x *Index) onChange(c storage.Change) {
 	x.applyChange(c)
 }
 
+// applyChange applies one feed event at its commit stamp, so the
+// entries it creates or kills are attributed to the right snapshot
+// boundary (ScanAsOf).
 func (x *Index) applyChange(c storage.Change) {
 	switch c.Kind {
 	case storage.DocInserted:
-		x.insertDoc(c.Doc)
+		x.insertDocAt(c.Doc, c.LSN)
 	case storage.DocRemoved:
-		x.deleteDoc(c.Doc)
+		x.deleteDocAt(c.Doc, c.LSN)
 	}
 }
 
@@ -121,6 +124,13 @@ func BuildOnline(t *storage.Table, def Definition) (*Index, error) {
 		docs = append(docs, d)
 	})
 	o.sub = sub
+	// Version bookkeeping starts at the capture instant: every delete
+	// that committed before it left no tomb, and every such stamp is at
+	// or below the ceiling read here (stamps are allocated before their
+	// table apply). Snapshot scans are exact from this stamp onward.
+	idx.mu.Lock()
+	idx.versionedSince = t.StampCeiling()
+	idx.mu.Unlock()
 
 	// Phase 2: build off to the side. Documents are immutable, so this
 	// needs no table lock; writers proceed concurrently.

@@ -10,6 +10,7 @@
 package xindex
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -125,6 +126,29 @@ type Index struct {
 	// themselves from the table's change feed and the engine must not
 	// apply explicit maintenance to them (it would double-apply).
 	online *onlineState
+
+	// Version bookkeeping for snapshot (as-of-stamp) scans. borns maps a
+	// live entry's packed ref to the commit stamp that created the
+	// version it indexes; absent means born at stamp 0 (present in the
+	// build snapshot, visible to every snapshot). graveyard holds entries
+	// superseded by a stamped delete or replace: a snapshot at stamp S
+	// still sees a tomb with born <= S < died. versionedSince is the
+	// earliest stamp as-of which the version bookkeeping is complete
+	// (deletes that committed before the online build's capture left no
+	// tombs); ScanAsOf answers only for asOf >= versionedSince.
+	borns          map[uint64]uint64
+	graveyard      []tomb
+	versionedSince uint64
+	lastPrune      int
+}
+
+// tomb is a dead index entry kept for snapshot scans: the entry's key
+// and ref plus the half-open stamp interval [born, died) during which
+// the version it indexed was current.
+type tomb struct {
+	key        []byte
+	ref        uint64
+	born, died uint64
 }
 
 // Build creates and populates an index over the current contents of the
@@ -218,7 +242,14 @@ func (x *Index) eachMatch(doc *xmltree.Document, visit func(id xmltree.NodeID)) 
 	}
 }
 
-func (x *Index) insertDoc(doc *xmltree.Document) int {
+func (x *Index) insertDoc(doc *xmltree.Document) int { return x.insertDocAt(doc, 0) }
+
+func (x *Index) deleteDoc(doc *xmltree.Document) int { return x.deleteDocAt(doc, 0) }
+
+// insertDocAt indexes one document version born at the given commit
+// stamp (0 for unstamped maintenance: batch builds, engine-maintained
+// upkeep, legacy replay — visible to every snapshot).
+func (x *Index) insertDocAt(doc *xmltree.Document, stamp uint64) int {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	added := 0
@@ -227,14 +258,25 @@ func (x *Index) insertDoc(doc *xmltree.Document) int {
 		if !ok {
 			return
 		}
-		if x.tree.Insert(key, packRef(Ref{Doc: doc.DocID, Node: id})) {
+		ref := packRef(Ref{Doc: doc.DocID, Node: id})
+		if x.tree.Insert(key, ref) {
 			added++
+			if stamp > 0 {
+				if x.borns == nil {
+					x.borns = make(map[uint64]uint64)
+				}
+				x.borns[ref] = stamp
+			}
 		}
 	})
 	return added
 }
 
-func (x *Index) deleteDoc(doc *xmltree.Document) int {
+// deleteDocAt unindexes one document version at the given commit stamp.
+// A stamped delete moves each entry to the graveyard so snapshots older
+// than the delete keep seeing it; an unstamped delete (stamp 0) drops
+// the entries outright.
+func (x *Index) deleteDocAt(doc *xmltree.Document, stamp uint64) int {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	removed := 0
@@ -243,11 +285,47 @@ func (x *Index) deleteDoc(doc *xmltree.Document) int {
 		if !ok {
 			return
 		}
-		if x.tree.Delete(key, packRef(Ref{Doc: doc.DocID, Node: id})) {
+		ref := packRef(Ref{Doc: doc.DocID, Node: id})
+		if x.tree.Delete(key, ref) {
 			removed++
+			born := x.borns[ref]
+			delete(x.borns, ref)
+			if stamp > 0 {
+				x.graveyard = append(x.graveyard, tomb{key: key, ref: ref, born: born, died: stamp})
+			}
 		}
 	})
+	x.pruneLocked()
 	return removed
+}
+
+// pruneLocked forgets version bookkeeping no snapshot can need: tombs
+// whose death is at or below the table's horizon (every current and
+// future snapshot reads at or above it) and born records at or below it
+// (the born <= asOf filter is then vacuous, which absence also means).
+// Amortized by a doubling heuristic so a churn-heavy feed does not scan
+// the graveyard per delete.
+func (x *Index) pruneLocked() {
+	if x.online == nil || len(x.graveyard) < 64 || len(x.graveyard) < 2*x.lastPrune {
+		return
+	}
+	h := x.online.table.Horizon()
+	kept := x.graveyard[:0]
+	for _, t := range x.graveyard {
+		if t.died > h {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(x.graveyard); i++ {
+		x.graveyard[i] = tomb{}
+	}
+	x.graveyard = kept
+	for ref, born := range x.borns {
+		if born <= h {
+			delete(x.borns, ref)
+		}
+	}
+	x.lastPrune = len(x.graveyard)
 }
 
 // OnInsert maintains the index for a newly inserted document and
@@ -302,45 +380,128 @@ func (x *Index) Scan(op xpath.CmpOp, lit xpath.Value, visit func(Ref) bool) int 
 }
 
 func (x *Index) scanLocked(op xpath.CmpOp, lit xpath.Value, visit func(Ref) bool) int {
-	var lo, hi []byte
-	loIncl, hiIncl := true, true
-	var skipEq []byte
-	switch {
-	case lit.Kind == xpath.NumberVal && x.Def.Type != xpath.NumberVal,
-		lit.Kind == xpath.StringVal && x.Def.Type != xpath.StringVal:
-		return 0 // type mismatch: index cannot answer this comparison
-	}
-	if lit.Kind == xpath.NumberVal && math.IsNaN(lit.Num) {
-		return 0 // no comparison against NaN holds, and NaN has no key
-	}
-	key := EncodeKey(lit.Kind, lit.Str, lit.Num)
-	switch op {
-	case xpath.OpEq:
-		lo, hi = key, key
-	case xpath.OpLt:
-		hi, hiIncl = key, false
-		lo = typeFloor(lit.Kind)
-	case xpath.OpLe:
-		hi = key
-		lo = typeFloor(lit.Kind)
-	case xpath.OpGt:
-		lo, loIncl = key, false
-		hi = typeCeil(lit.Kind)
-	case xpath.OpGe:
-		lo = key
-		hi = typeCeil(lit.Kind)
-	case xpath.OpNe:
-		lo, hi = typeFloor(lit.Kind), typeCeil(lit.Kind)
-		skipEq = key
-	default:
+	r, ok := x.scanBounds(op, lit)
+	if !ok {
 		return 0
 	}
-	return x.tree.AscendRange(lo, hi, loIncl, hiIncl, func(k []byte, v uint64) bool {
-		if skipEq != nil && string(k) == string(skipEq) {
+	return x.tree.AscendRange(r.lo, r.hi, r.loIncl, r.hiIncl, func(k []byte, v uint64) bool {
+		if r.skipEq != nil && string(k) == string(r.skipEq) {
 			return true
 		}
 		return visit(unpackRef(v))
 	})
+}
+
+// scanRange is the key-space interval a comparison translates to.
+type scanRange struct {
+	lo, hi         []byte
+	loIncl, hiIncl bool
+	skipEq         []byte // OpNe: full type range minus this key
+}
+
+// contains reports whether a key falls inside the range — the same
+// predicate AscendRange applies, for filtering keys held outside the
+// tree (the graveyard).
+func (r scanRange) contains(k []byte) bool {
+	if r.skipEq != nil && bytes.Equal(k, r.skipEq) {
+		return false
+	}
+	if r.lo != nil {
+		if c := bytes.Compare(k, r.lo); c < 0 || (c == 0 && !r.loIncl) {
+			return false
+		}
+	}
+	if r.hi != nil {
+		if c := bytes.Compare(k, r.hi); c > 0 || (c == 0 && !r.hiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanBounds translates (op, lit) into the key range to scan; ok is
+// false when the index cannot answer the comparison at all (type
+// mismatch, NaN, unknown operator).
+func (x *Index) scanBounds(op xpath.CmpOp, lit xpath.Value) (scanRange, bool) {
+	r := scanRange{loIncl: true, hiIncl: true}
+	switch {
+	case lit.Kind == xpath.NumberVal && x.Def.Type != xpath.NumberVal,
+		lit.Kind == xpath.StringVal && x.Def.Type != xpath.StringVal:
+		return r, false // type mismatch: index cannot answer this comparison
+	}
+	if lit.Kind == xpath.NumberVal && math.IsNaN(lit.Num) {
+		return r, false // no comparison against NaN holds, and NaN has no key
+	}
+	key := EncodeKey(lit.Kind, lit.Str, lit.Num)
+	switch op {
+	case xpath.OpEq:
+		r.lo, r.hi = key, key
+	case xpath.OpLt:
+		r.hi, r.hiIncl = key, false
+		r.lo = typeFloor(lit.Kind)
+	case xpath.OpLe:
+		r.hi = key
+		r.lo = typeFloor(lit.Kind)
+	case xpath.OpGt:
+		r.lo, r.loIncl = key, false
+		r.hi = typeCeil(lit.Kind)
+	case xpath.OpGe:
+		r.lo = key
+		r.hi = typeCeil(lit.Kind)
+	case xpath.OpNe:
+		r.lo, r.hi = typeFloor(lit.Kind), typeCeil(lit.Kind)
+		r.skipEq = key
+	default:
+		return r, false
+	}
+	return r, true
+}
+
+// VersionedSince is the earliest commit stamp as-of which ScanAsOf
+// answers exactly: for a self-maintained index, the table's stamp
+// ceiling at the online build's capture instant (deletes committed
+// before capture left no tombs, so older snapshots cannot be served).
+// Batch-built indexes return 0 but carry no version bookkeeping at all;
+// only self-maintained indexes support snapshot scans.
+func (x *Index) VersionedSince() uint64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.versionedSince
+}
+
+// ScanAsOf visits the entries satisfying (op, lit) as of commit stamp
+// asOf: live entries born at or before asOf, plus graveyard entries
+// whose version was current at asOf (born <= asOf < died). Tree entries
+// arrive in key order; graveyard entries follow unordered — callers
+// intersect document sets, so order is immaterial. Valid only on a
+// self-maintained index with asOf >= VersionedSince; it returns the
+// number of entries visited, like Scan.
+func (x *Index) ScanAsOf(op xpath.CmpOp, lit xpath.Value, asOf uint64, visit func(Ref) bool) int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	r, ok := x.scanBounds(op, lit)
+	if !ok {
+		return 0
+	}
+	n := x.tree.AscendRange(r.lo, r.hi, r.loIncl, r.hiIncl, func(k []byte, v uint64) bool {
+		if r.skipEq != nil && string(k) == string(r.skipEq) {
+			return true
+		}
+		if x.borns[v] > asOf {
+			return true // version created after the snapshot
+		}
+		return visit(unpackRef(v))
+	})
+	for i := range x.graveyard {
+		t := &x.graveyard[i]
+		if t.born <= asOf && asOf < t.died && r.contains(t.key) {
+			n++
+			if !visit(unpackRef(t.ref)) {
+				break
+			}
+		}
+	}
+	return n
 }
 
 // typeFloor/typeCeil bound the key space of one type tag, so ranges do
