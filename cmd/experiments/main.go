@@ -90,6 +90,7 @@ func main() {
 			_, err := experiments.RestoreLSN(out, *scale)
 			return err
 		}},
+		{"observe", func() error { _, err := experiments.Observe(out, *scale); return err }},
 		{"xmark", func() error { _, err := experiments.XMark(out, *scale, *parallelism); return err }},
 	}
 	ran := 0

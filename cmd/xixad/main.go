@@ -10,7 +10,13 @@
 //	      [-sync always|batched|off] [-checkpoint-mb N] [-archive-dir dir]
 //	      [-replication-addr :4096] [-replica-of host:4096]
 //	      [-tune-interval 30s] [-budget-mb N] [-algorithm topdown-full]
-//	      [-demo N]
+//	      [-http-addr :4097] [-demo N]
+//
+// With -http-addr, the daemon serves its observability surface over
+// HTTP: Prometheus-format metrics at /metrics, the most recent query
+// traces (per-phase spans with estimated-vs-actual plan-node
+// cardinalities) as JSON at /trace/last?n=K, and the standard Go
+// profiles under /debug/pprof/.
 //
 // With -wal-dir, the daemon is durable: every committed mutation is in
 // the write-ahead log before the client sees OK (group commit batches
@@ -44,7 +50,10 @@
 //
 //	\indexes            list the materialized catalog with sizes
 //	\tune               run one advisor round on the captured workload
-//	\stats              session, server, transaction, and replication counters
+//	\stats [json]       session, server, transaction, and replication
+//	                    counters, rendered from the metrics registry
+//	                    (json: the full registry snapshot as JSON)
+//	\metrics            the metrics registry in Prometheus text format
 //	\promote            promote this follower to primary (fences the old one)
 //	\explain <stmt>     show the plan without executing
 //	\quit               close the connection
@@ -56,10 +65,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -68,6 +80,7 @@ import (
 	"time"
 
 	"xixa/internal/core"
+	"xixa/internal/obs"
 	"xixa/internal/replica"
 	"xixa/internal/server"
 	"xixa/internal/storage"
@@ -92,6 +105,7 @@ func main() {
 	algorithm := flag.String("algorithm", core.AlgoTopDownFull, "advisor search algorithm")
 	demo := flag.Int("demo", 0, "drive N synthetic clients against the daemon and exit")
 	parallelism := flag.Int("parallelism", 0, "advisor fan-out width (0 = GOMAXPROCS)")
+	httpAddr := flag.String("http-addr", "", "serve /metrics, /trace/last, and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -197,6 +211,17 @@ func main() {
 		}
 		rs.prim = p
 		log.Printf("streaming WAL to followers on %s (epoch %d)", bound, p.Epoch())
+	}
+
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("xixad: http listen: %v", err)
+		}
+		hsrv := &http.Server{Handler: obs.NewMux(srv.Metrics(), srv.Tracer())}
+		go hsrv.Serve(hln)
+		defer hsrv.Close()
+		log.Printf("observability on http://%s/ (metrics, trace/last, debug/pprof)", hln.Addr())
 	}
 
 	if *demo > 0 {
@@ -352,34 +377,17 @@ func handleLine(rs *replState, srv *server.Server, sess *server.Session, out *bu
 		}
 		fmt.Fprintf(out, "OK %s\n", rep)
 	case line == `\stats`:
-		st, executed, errs := sess.Stats()
-		fmt.Fprintf(out, "| session: %d statements, %d errors, %.0f work units\n", executed, errs, st.WorkUnits())
-		fmt.Fprintf(out, "| server: %s\n", srv)
-		txn := srv.TxnStats()
-		fmt.Fprintf(out, "| txns: %d committed, %d aborted, %d write-write conflicts\n",
-			txn.Commits, txn.Aborts, txn.Conflicts)
-		retries, backoff := sess.RetryStats()
-		fmt.Fprintf(out, "| txns session: %d conflict retries, %s backoff slept\n", retries, backoff)
-		fmt.Fprintf(out, "| commit pipeline: %d stamps allocated, watermark %d, publish lag %d (peak %d), publish wait %s\n",
-			txn.StampsAllocated, txn.Watermark, txn.PublishLag, txn.PublishLagPeak, txn.PublishWait)
-		fmt.Fprintf(out, "| replay reorder: %d frames buffered (peak %d)\n",
-			txn.ReorderBuffered, txn.ReorderPeak)
-		if p := rs.primary(); p != nil {
-			followers := p.Status()
-			fmt.Fprintf(out, "| replication: primary at epoch %d, %d followers\n", p.Epoch(), len(followers))
-			for _, fs := range followers {
-				fmt.Fprintf(out, "| replication follower %s: streamed LSN %d, acked %d, lag %d records\n",
-					fs.Addr, fs.StreamedLSN, fs.AckedLSN, fs.LagRecords)
-			}
+		writeStats(rs, srv, sess, out)
+	case line == `\stats json`:
+		writeStatsJSON(rs, srv, sess, out)
+	case line == `\metrics`:
+		var buf bytes.Buffer
+		if err := srv.Metrics().WritePrometheus(&buf); err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			return
 		}
-		if f, promoted := rs.follower(); f != nil && !promoted {
-			info := f.Info()
-			state := "disconnected"
-			if info.Connected {
-				state = "connected"
-			}
-			fmt.Fprintf(out, "| replication: following at epoch %d, applied LSN %d, primary tip %d, lag %d records, %s (%d reconnects)\n",
-				info.Epoch, info.AppliedLSN, info.PrimaryFlushedLSN, info.LagRecords, state, info.Reconnects)
+		for _, ln := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+			fmt.Fprintf(out, "| %s\n", ln)
 		}
 		fmt.Fprintln(out, "OK")
 	case line == `\promote`:
@@ -457,6 +465,108 @@ func handleLine(rs *replState, srv *server.Server, sess *server.Session, out *bu
 		fmt.Fprintf(out, "OK %d results, %d nodes scanned, %d index entries, %d docs fetched\n",
 			len(res.Refs), res.Stats.NodesScanned, res.Stats.IndexEntriesRead, res.Stats.DocsFetched)
 	}
+}
+
+// writeStats renders the human \stats view. Every server-wide number
+// comes from one registry snapshot (obs.Values), so this view, the
+// Prometheus endpoint, and TxnStats can never disagree; only the
+// per-session lines read session state.
+func writeStats(rs *replState, srv *server.Server, sess *server.Session, out *bufio.Writer) {
+	vals := obs.Values(srv.Metrics().Snapshot())
+	v := func(name string) float64 { return vals[name] }
+	secs := func(s float64) time.Duration {
+		return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
+	}
+
+	st, executed, errs := sess.Stats()
+	retries, backoff := sess.RetryStats()
+	fmt.Fprintf(out, "| session: %d statements, %d errors, %.0f work units, %d conflict retries, %s backoff slept\n",
+		executed, errs, st.WorkUnits(), retries, backoff)
+	fmt.Fprintf(out, "| server: %.0f sessions open (%.0f opened), %.0f indexes, %.0f captured statements\n",
+		v("xixa_sessions_open"), v("xixa_sessions_opened_total"),
+		v("xixa_index_definitions"), v("xixa_capture_statements"))
+	meanStmt := 0.0
+	if c := v("xixa_statement_seconds_count"); c > 0 {
+		meanStmt = v("xixa_statement_seconds_sum") / c
+	}
+	fmt.Fprintf(out, "| statements: %.0f served, %.0f failed, %.0f rejected overloaded, mean latency %s\n",
+		v("xixa_statements_total"), v("xixa_statement_errors_total"),
+		v("xixa_overloaded_total"), secs(meanStmt))
+	fmt.Fprintf(out, "| txns: %.0f committed, %.0f aborted, %.0f write-write conflicts, %.0f retries, %s backoff\n",
+		v("xixa_txn_commits_total"), v("xixa_txn_aborts_total"), v("xixa_txn_conflicts_total"),
+		v("xixa_txn_retries_total"), time.Duration(v("xixa_txn_backoff_nanoseconds_total")).Round(time.Microsecond))
+	fmt.Fprintf(out, "| commit pipeline: %.0f stamps allocated, watermark %.0f, publish lag %.0f (peak %.0f), publish wait %s\n",
+		v("xixa_mvcc_stamps_allocated"), v("xixa_mvcc_watermark"),
+		v("xixa_mvcc_publish_lag"), v("xixa_mvcc_publish_lag_peak"),
+		secs(v("xixa_mvcc_publish_wait_seconds_total")))
+	fmt.Fprintf(out, "| replay reorder: %.0f frames buffered (peak %.0f)\n",
+		v("xixa_replay_reorder_buffered"), v("xixa_replay_reorder_peak"))
+	if srv.WAL() != nil {
+		meanFsync := 0.0
+		if c := v("xixa_wal_fsync_seconds_count"); c > 0 {
+			meanFsync = v("xixa_wal_fsync_seconds_sum") / c
+		}
+		fmt.Fprintf(out, "| wal: %.0f appends, %.0f fsyncs (mean %s), durable LSN %.0f, %.0f bytes\n",
+			v("xixa_wal_appends_total"), v("xixa_wal_fsyncs_total"), secs(meanFsync),
+			v("xixa_wal_durable_lsn"), v("xixa_wal_size_bytes"))
+	}
+	fmt.Fprintf(out, "| tuner: %.0f rounds (%.0f skipped), %.0f indexes built, %.0f dropped, %.0f checkpoints\n",
+		v("xixa_tuner_rounds_total"), v("xixa_tuner_rounds_skipped_total"),
+		v("xixa_index_builds_total"), v("xixa_index_drops_total"), v("xixa_checkpoints_total"))
+	if p := rs.primary(); p != nil {
+		followers := p.Status()
+		fmt.Fprintf(out, "| replication: primary at epoch %d, %d followers\n", p.Epoch(), len(followers))
+		for _, fs := range followers {
+			fmt.Fprintf(out, "| replication follower %s: streamed LSN %d, acked %d, lag %d records\n",
+				fs.Addr, fs.StreamedLSN, fs.AckedLSN, fs.LagRecords)
+		}
+	}
+	if f, promoted := rs.follower(); f != nil && !promoted {
+		info := f.Info()
+		state := "disconnected"
+		if info.Connected {
+			state = "connected"
+		}
+		fmt.Fprintf(out, "| replication: following at epoch %d, applied LSN %d, primary tip %d, lag %d records (LSN delta %d), %s (%d reconnects)\n",
+			info.Epoch, info.AppliedLSN, info.PrimaryFlushedLSN, info.LagRecords, info.LagLSN, state, info.Reconnects)
+	}
+	fmt.Fprintln(out, "OK")
+}
+
+// writeStatsJSON emits the session counters plus the full registry
+// snapshot as indented JSON, one "| "-prefixed line each, so a client
+// can strip the prefix and parse.
+func writeStatsJSON(rs *replState, srv *server.Server, sess *server.Session, out *bufio.Writer) {
+	st, executed, errs := sess.Stats()
+	retries, backoff := sess.RetryStats()
+	payload := struct {
+		Session struct {
+			Executed  int64   `json:"executed"`
+			Errors    int64   `json:"errors"`
+			WorkUnits float64 `json:"work_units"`
+			Retries   int64   `json:"retries"`
+			BackoffNs int64   `json:"backoff_ns"`
+		} `json:"session"`
+		Followers []replica.FollowerStatus `json:"followers,omitempty"`
+		Metrics   []obs.Metric             `json:"metrics"`
+	}{Metrics: srv.Metrics().Snapshot()}
+	payload.Session.Executed = executed
+	payload.Session.Errors = errs
+	payload.Session.WorkUnits = st.WorkUnits()
+	payload.Session.Retries = retries
+	payload.Session.BackoffNs = backoff.Nanoseconds()
+	if p := rs.primary(); p != nil {
+		payload.Followers = p.Status()
+	}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		fmt.Fprintf(out, "ERR %v\n", err)
+		return
+	}
+	for _, ln := range strings.Split(string(b), "\n") {
+		fmt.Fprintf(out, "| %s\n", ln)
+	}
+	fmt.Fprintln(out, "OK")
 }
 
 // runDemo drives n synthetic clients against the server for a few

@@ -125,6 +125,25 @@
 // snapshots instead of deleting them, and server.RestoreToLSN
 // rebuilds the exact committed image at any LSN in history.
 //
+// # Observability
+//
+// internal/obs is a dependency-free metrics and tracing layer. Every
+// server owns a registry of named counters, gauges, and lock-striped
+// histograms; the instrumented subsystems (sessions and admission,
+// transactions, the commit pipeline, WAL and group commit, replication
+// lag, the tuning loop, runtime gauges) register their handles there,
+// and the registry handles ARE the server's counters — \stats,
+// \stats json, \metrics, and the HTTP endpoint (xixad -http-addr:
+// Prometheus-format /metrics, JSON /trace/last, /debug/pprof) are all
+// views of the same atomics, so they can never disagree. A sampling
+// tracer (1 in 16 by default) records per-statement spans — parse,
+// optimize, index scan, xpath verify, commit — carrying wall time,
+// row counts, and per costed plan node the optimizer's estimated
+// cardinality beside the observed actual; those pairs feed back into
+// the workload capture (workload.Capture.CardStats) as per-site
+// q-error aggregates, measuring the estimator the paper couples the
+// advisor to against live production traffic.
+//
 // See README.md for a walkthrough, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for regenerating the paper's evaluation.
 package xixa

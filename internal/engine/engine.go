@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xixa/internal/obs"
 	"xixa/internal/optimizer"
 	"xixa/internal/storage"
 	"xixa/internal/xindex"
@@ -243,24 +244,40 @@ func New(db *storage.Database, opt *optimizer.Optimizer, cat *Catalog) *Engine {
 // drop can never leave the chosen plan pointing at an index the
 // execution cannot resolve.
 func (e *Engine) Execute(stmt *xquery.Statement) ([]xindex.Ref, Stats, error) {
+	return e.ExecuteTraced(stmt, nil)
+}
+
+// ExecuteTraced is Execute with an optional trace attached: plan-phase
+// spans (optimize, index scan, xpath verify) and per-plan-node
+// estimated-vs-actual cardinalities are recorded into qt. A nil qt
+// skips all trace bookkeeping (including its clock reads), so the
+// untraced path is identical to Execute before tracing existed.
+func (e *Engine) ExecuteTraced(stmt *xquery.Statement, qt *obs.QueryTrace) ([]xindex.Ref, Stats, error) {
 	if e.recorder != nil {
 		e.recorder.Record(stmt)
 	}
 	view := e.cat.View()
+	var optStart time.Time
+	if qt != nil {
+		optStart = time.Now()
+	}
 	plan, err := e.opt.EvaluateIndexes(stmt, view.Definitions())
+	if qt != nil {
+		qt.Span("optimize", time.Since(optStart), 0)
+	}
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return e.executePlan(plan, view)
+	return e.executePlan(plan, view, qt)
 }
 
 // ExecutePlan runs an already-chosen plan against the current catalog
 // configuration.
 func (e *Engine) ExecutePlan(plan *optimizer.Plan) ([]xindex.Ref, Stats, error) {
-	return e.executePlan(plan, e.cat.View())
+	return e.executePlan(plan, e.cat.View(), nil)
 }
 
-func (e *Engine) executePlan(plan *optimizer.Plan, view View) ([]xindex.Ref, Stats, error) {
+func (e *Engine) executePlan(plan *optimizer.Plan, view View, qt *obs.QueryTrace) ([]xindex.Ref, Stats, error) {
 	start := time.Now()
 	var refs []xindex.Ref
 	var st Stats
@@ -268,13 +285,13 @@ func (e *Engine) executePlan(plan *optimizer.Plan, view View) ([]xindex.Ref, Sta
 	stmt := plan.Stmt
 	switch stmt.Kind {
 	case xquery.Query:
-		refs, st, err = e.runQuery(plan, view)
+		refs, st, err = e.runQuery(plan, view, qt)
 	case xquery.Insert:
 		st, err = e.runInsert(stmt, view)
 	case xquery.Delete:
-		st, err = e.runDelete(plan, view)
+		st, err = e.runDelete(plan, view, qt)
 	case xquery.Update:
-		st, err = e.runUpdate(plan, view)
+		st, err = e.runUpdate(plan, view, qt)
 	default:
 		err = fmt.Errorf("engine: unsupported statement kind %v", stmt.Kind)
 	}
@@ -283,8 +300,11 @@ func (e *Engine) executePlan(plan *optimizer.Plan, view View) ([]xindex.Ref, Sta
 }
 
 // matchDocs finds the documents satisfying the statement's normalized
-// path, either by table scan or via the plan's index accesses.
-func (e *Engine) matchDocs(plan *optimizer.Plan, view View, st *Stats) ([]*xmltree.Document, error) {
+// path, either by table scan or via the plan's index accesses. With a
+// trace attached it records the index-scan and xpath-verify spans and,
+// for every costed plan node, the optimizer's estimated cardinality
+// next to the observed actual.
+func (e *Engine) matchDocs(plan *optimizer.Plan, view View, st *Stats, qt *obs.QueryTrace) ([]*xmltree.Document, error) {
 	stmt := plan.Stmt
 	tbl, err := e.db.Table(stmt.Table)
 	if err != nil {
@@ -294,17 +314,35 @@ func (e *Engine) matchDocs(plan *optimizer.Plan, view View, st *Stats) ([]*xmltr
 	var out []*xmltree.Document
 
 	if !plan.UsesIndexes() {
+		var scanStart time.Time
+		if qt != nil {
+			scanStart = time.Now()
+		}
+		scanned := int64(0)
 		tbl.Scan(func(doc *xmltree.Document) bool {
+			scanned++
 			st.NodesScanned += int64(doc.Len())
 			if len(xpath.Eval(doc, norm)) > 0 {
 				out = append(out, doc)
 			}
 			return true
 		})
+		if qt != nil {
+			span := qt.Span("xpath verify", time.Since(scanStart), int64(len(out)))
+			qt.AddNodes(span,
+				obs.NodeCard{Op: optimizer.OpTbScan, Site: stmt.NormalizedKey(), Est: int64(plan.EstCandidateDocs + 0.5), Actual: scanned},
+				obs.NodeCard{Op: optimizer.OpFilter, Site: stmt.NormalizedKey(), Est: int64(plan.EstMatchingDocs + 0.5), Actual: int64(len(out))},
+			)
+		}
 		return out, nil
 	}
 
 	// Index ANDing: intersect candidate document sets from each access.
+	var scanStart time.Time
+	if qt != nil {
+		scanStart = time.Now()
+	}
+	var cards []obs.NodeCard
 	var candidates map[int64]bool
 	for _, acc := range plan.Accesses {
 		idx, ok := view.Get(acc.Index)
@@ -313,10 +351,17 @@ func (e *Engine) matchDocs(plan *optimizer.Plan, view View, st *Stats) ([]*xmltr
 		}
 		st.IndexProbes++
 		docSet := make(map[int64]bool)
-		st.IndexEntriesRead += int64(idx.Scan(acc.Site.Op, acc.Site.Lit, func(r xindex.Ref) bool {
+		entries := int64(idx.Scan(acc.Site.Op, acc.Site.Lit, func(r xindex.Ref) bool {
 			docSet[r.Doc] = true
 			return true
 		}))
+		st.IndexEntriesRead += entries
+		if qt != nil {
+			cards = append(cards, obs.NodeCard{
+				Op: optimizer.OpIxScan, Site: acc.Site.Key(),
+				Est: int64(acc.EntriesScanned + 0.5), Actual: entries,
+			})
+		}
 		if candidates == nil {
 			candidates = docSet
 		} else {
@@ -327,8 +372,23 @@ func (e *Engine) matchDocs(plan *optimizer.Plan, view View, st *Stats) ([]*xmltr
 			}
 		}
 		if len(candidates) == 0 {
-			return nil, nil
+			break
 		}
+	}
+	if qt != nil {
+		span := qt.Span("index scan", time.Since(scanStart), int64(len(candidates)))
+		qt.AddNodes(span, cards...)
+		scanStart = time.Now()
+	}
+	if len(candidates) == 0 {
+		if qt != nil {
+			span := qt.Span("xpath verify", time.Since(scanStart), 0)
+			qt.AddNodes(span,
+				obs.NodeCard{Op: optimizer.OpFetch, Site: stmt.NormalizedKey(), Est: int64(plan.EstCandidateDocs + 0.5), Actual: 0},
+				obs.NodeCard{Op: optimizer.OpFilter, Site: stmt.NormalizedKey(), Est: int64(plan.EstMatchingDocs + 0.5), Actual: 0},
+			)
+		}
+		return nil, nil
 	}
 	ids := make([]int64, 0, len(candidates))
 	for id := range candidates {
@@ -346,12 +406,19 @@ func (e *Engine) matchDocs(plan *optimizer.Plan, view View, st *Stats) ([]*xmltr
 			out = append(out, doc)
 		}
 	}
+	if qt != nil {
+		span := qt.Span("xpath verify", time.Since(scanStart), int64(len(out)))
+		qt.AddNodes(span,
+			obs.NodeCard{Op: optimizer.OpFetch, Site: stmt.NormalizedKey(), Est: int64(plan.EstCandidateDocs + 0.5), Actual: int64(len(ids))},
+			obs.NodeCard{Op: optimizer.OpFilter, Site: stmt.NormalizedKey(), Est: int64(plan.EstMatchingDocs + 0.5), Actual: int64(len(out))},
+		)
+	}
 	return out, nil
 }
 
-func (e *Engine) runQuery(plan *optimizer.Plan, view View) ([]xindex.Ref, Stats, error) {
+func (e *Engine) runQuery(plan *optimizer.Plan, view View, qt *obs.QueryTrace) ([]xindex.Ref, Stats, error) {
 	var st Stats
-	docs, err := e.matchDocs(plan, view, &st)
+	docs, err := e.matchDocs(plan, view, &st, qt)
 	if err != nil {
 		return nil, st, err
 	}
@@ -397,9 +464,9 @@ func (e *Engine) runInsert(stmt *xquery.Statement, view View) (Stats, error) {
 	return st, nil
 }
 
-func (e *Engine) runDelete(plan *optimizer.Plan, view View) (Stats, error) {
+func (e *Engine) runDelete(plan *optimizer.Plan, view View, qt *obs.QueryTrace) (Stats, error) {
 	var st Stats
-	docs, err := e.matchDocs(plan, view, &st)
+	docs, err := e.matchDocs(plan, view, &st, qt)
 	if err != nil {
 		return st, err
 	}
@@ -416,10 +483,10 @@ func (e *Engine) runDelete(plan *optimizer.Plan, view View) (Stats, error) {
 	return st, nil
 }
 
-func (e *Engine) runUpdate(plan *optimizer.Plan, view View) (Stats, error) {
+func (e *Engine) runUpdate(plan *optimizer.Plan, view View, qt *obs.QueryTrace) (Stats, error) {
 	var st Stats
 	stmt := plan.Stmt
-	docs, err := e.matchDocs(plan, view, &st)
+	docs, err := e.matchDocs(plan, view, &st, qt)
 	if err != nil {
 		return st, err
 	}

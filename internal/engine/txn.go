@@ -27,6 +27,8 @@ import (
 	"sort"
 	"time"
 
+	"xixa/internal/obs"
+	"xixa/internal/optimizer"
 	"xixa/internal/storage"
 	"xixa/internal/xindex"
 	"xixa/internal/xmltree"
@@ -94,6 +96,12 @@ func (tx *Txn) overlay(table string) *overlay {
 // phases read the snapshot through the write overlay; mutations buffer
 // into the write set. Nothing touches shared state until Commit.
 func (tx *Txn) Execute(stmt *xquery.Statement) ([]xindex.Ref, Stats, error) {
+	return tx.ExecuteTraced(stmt, nil)
+}
+
+// ExecuteTraced is Execute with an optional trace attached (see
+// Engine.ExecuteTraced); a nil qt makes it identical to Execute.
+func (tx *Txn) ExecuteTraced(stmt *xquery.Statement, qt *obs.QueryTrace) ([]xindex.Ref, Stats, error) {
 	if tx.done {
 		return nil, Stats{}, ErrTxnDone
 	}
@@ -106,13 +114,13 @@ func (tx *Txn) Execute(stmt *xquery.Statement) ([]xindex.Ref, Stats, error) {
 	var err error
 	switch stmt.Kind {
 	case xquery.Query:
-		refs, err = tx.runQuery(stmt, &st)
+		refs, err = tx.runQuery(stmt, &st, qt)
 	case xquery.Insert:
 		err = tx.runInsert(stmt, &st)
 	case xquery.Delete:
-		err = tx.runDelete(stmt, &st)
+		err = tx.runDelete(stmt, &st, qt)
 	case xquery.Update:
-		err = tx.runUpdate(stmt, &st)
+		err = tx.runUpdate(stmt, &st, qt)
 	default:
 		err = fmt.Errorf("engine: unsupported statement kind %v", stmt.Kind)
 	}
@@ -128,15 +136,19 @@ func (tx *Txn) Execute(stmt *xquery.Statement) ([]xindex.Ref, Stats, error) {
 // candidates come from version-aware index scans instead of a table
 // scan; otherwise (no usable plan, or an index too young or not
 // self-maintained) the snapshot is scanned as before.
-func (tx *Txn) matchDocs(stmt *xquery.Statement, st *Stats) ([]*xmltree.Document, error) {
+func (tx *Txn) matchDocs(stmt *xquery.Statement, st *Stats, qt *obs.QueryTrace) ([]*xmltree.Document, error) {
 	tv, err := tx.snap.Table(stmt.Table)
 	if err != nil {
 		return nil, err
 	}
 	norm := stmt.NormalizedPath()
 	ov := tx.overlays[stmt.Table]
-	if out, ok := tx.matchViaIndexes(stmt, tv, ov, st); ok {
+	if out, ok := tx.matchViaIndexes(stmt, tv, ov, st, qt); ok {
 		return out, nil
+	}
+	var scanStart time.Time
+	if qt != nil {
+		scanStart = time.Now()
 	}
 	var out []*xmltree.Document
 	tv.Scan(func(d *xmltree.Document) bool {
@@ -162,6 +174,11 @@ func (tx *Txn) matchDocs(stmt *xquery.Statement, st *Stats) ([]*xmltree.Document
 			}
 		}
 	}
+	if qt != nil {
+		// The scan fallback has no costed plan (matchViaIndexes declined
+		// or planning failed), so the span carries no estimate cards.
+		qt.Span("xpath verify", time.Since(scanStart), int64(len(out)))
+	}
 	return out, nil
 }
 
@@ -179,14 +196,21 @@ func (tx *Txn) matchDocs(stmt *xquery.Statement, st *Stats) ([]*xmltree.Document
 // this transaction's deletes hide candidates. Every surviving candidate
 // is re-verified against the full path — index ANDing over linear
 // predicate sites over-approximates the match set.
-func (tx *Txn) matchViaIndexes(stmt *xquery.Statement, tv *storage.TableView, ov *overlay, st *Stats) ([]*xmltree.Document, bool) {
+func (tx *Txn) matchViaIndexes(stmt *xquery.Statement, tv *storage.TableView, ov *overlay, st *Stats, qt *obs.QueryTrace) ([]*xmltree.Document, bool) {
 	defs := tx.view.Definitions()
 	if len(defs) == 0 {
 		// Nothing materialized: skip planning entirely (the plan cost
 		// would dwarf the scan on every conflict retry).
 		return nil, false
 	}
+	var optStart time.Time
+	if qt != nil {
+		optStart = time.Now()
+	}
 	plan, err := tx.eng.opt.EvaluateIndexes(stmt, defs)
+	if qt != nil {
+		qt.Span("optimize", time.Since(optStart), 0)
+	}
 	if err != nil || !plan.UsesIndexes() {
 		return nil, false
 	}
@@ -202,14 +226,26 @@ func (tx *Txn) matchViaIndexes(stmt *xquery.Statement, tv *storage.TableView, ov
 
 	// Index ANDing at the snapshot stamp: intersect candidate document
 	// sets from each access.
+	var scanStart time.Time
+	if qt != nil {
+		scanStart = time.Now()
+	}
+	var cards []obs.NodeCard
 	var candidates map[int64]bool
 	for i, acc := range plan.Accesses {
 		st.IndexProbes++
 		docSet := make(map[int64]bool)
-		st.IndexEntriesRead += int64(indexes[i].ScanAsOf(acc.Site.Op, acc.Site.Lit, asOf, func(r xindex.Ref) bool {
+		entries := int64(indexes[i].ScanAsOf(acc.Site.Op, acc.Site.Lit, asOf, func(r xindex.Ref) bool {
 			docSet[r.Doc] = true
 			return true
 		}))
+		st.IndexEntriesRead += entries
+		if qt != nil {
+			cards = append(cards, obs.NodeCard{
+				Op: optimizer.OpIxScan, Site: acc.Site.Key(),
+				Est: int64(acc.EntriesScanned + 0.5), Actual: entries,
+			})
+		}
 		if candidates == nil {
 			candidates = docSet
 		} else {
@@ -222,6 +258,11 @@ func (tx *Txn) matchViaIndexes(stmt *xquery.Statement, tv *storage.TableView, ov
 		if len(candidates) == 0 {
 			break
 		}
+	}
+	if qt != nil {
+		span := qt.Span("index scan", time.Since(scanStart), int64(len(candidates)))
+		qt.AddNodes(span, cards...)
+		scanStart = time.Now()
 	}
 
 	// Merge candidates with this transaction's replaced documents (their
@@ -272,11 +313,18 @@ func (tx *Txn) matchViaIndexes(stmt *xquery.Statement, tv *storage.TableView, ov
 			}
 		}
 	}
+	if qt != nil {
+		span := qt.Span("xpath verify", time.Since(scanStart), int64(len(out)))
+		qt.AddNodes(span,
+			obs.NodeCard{Op: optimizer.OpFetch, Site: stmt.NormalizedKey(), Est: int64(plan.EstCandidateDocs + 0.5), Actual: int64(len(ids))},
+			obs.NodeCard{Op: optimizer.OpFilter, Site: stmt.NormalizedKey(), Est: int64(plan.EstMatchingDocs + 0.5), Actual: int64(len(out))},
+		)
+	}
 	return out, true
 }
 
-func (tx *Txn) runQuery(stmt *xquery.Statement, st *Stats) ([]xindex.Ref, error) {
-	docs, err := tx.matchDocs(stmt, st)
+func (tx *Txn) runQuery(stmt *xquery.Statement, st *Stats, qt *obs.QueryTrace) ([]xindex.Ref, error) {
+	docs, err := tx.matchDocs(stmt, st, qt)
 	if err != nil {
 		return nil, err
 	}
@@ -329,8 +377,8 @@ func (tx *Txn) dropProvisional(table string, provID int64) {
 	}
 }
 
-func (tx *Txn) runDelete(stmt *xquery.Statement, st *Stats) error {
-	docs, err := tx.matchDocs(stmt, st)
+func (tx *Txn) runDelete(stmt *xquery.Statement, st *Stats, qt *obs.QueryTrace) error {
+	docs, err := tx.matchDocs(stmt, st, qt)
 	if err != nil {
 		return err
 	}
@@ -350,8 +398,8 @@ func (tx *Txn) runDelete(stmt *xquery.Statement, st *Stats) error {
 	return nil
 }
 
-func (tx *Txn) runUpdate(stmt *xquery.Statement, st *Stats) error {
-	docs, err := tx.matchDocs(stmt, st)
+func (tx *Txn) runUpdate(stmt *xquery.Statement, st *Stats, qt *obs.QueryTrace) error {
+	docs, err := tx.matchDocs(stmt, st, qt)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,301 @@
+// Package obs is the unified observability layer: a dependency-free
+// (stdlib-only) metrics registry plus a per-query trace recorder. Every
+// layer of the stack — server sessions, the transaction manager, the
+// storage commit pipeline, the WAL, replication, the tuner, and the
+// engine's executor — registers its counters, gauges, and histograms
+// here, and every consumer (the xixad \stats and \metrics commands, the
+// HTTP /metrics endpoint, tests) reads the same registry, so there is
+// exactly one source of truth for what the system is doing and the
+// hand-formatted status lines can never drift from what is exported.
+//
+// Design:
+//
+//   - Counter: a monotonically increasing atomic uint64. Gauge: an
+//     atomic int64 set to the current level. GaugeFunc: a pull-style
+//     gauge evaluated at snapshot time — the bridge for state another
+//     layer already maintains (the MVCC watermark, the WAL's durable
+//     LSN, a follower's applied position), which by construction cannot
+//     drift from the source because it IS the source.
+//   - Histogram: fixed exponential buckets (ExpBuckets) with
+//     lock-striped shards — an observation locks one of eight stripes
+//     chosen round-robin, so concurrent writers on the hot path do not
+//     convoy on a single mutex; Snapshot merges the stripes.
+//   - Metrics are named (Prometheus conventions: snake_case families,
+//     _total for counters, base-unit suffixes) and optionally labeled.
+//     Registration is idempotent — asking for an existing
+//     (name, labels) pair returns the same handle — and enumeration is
+//     deterministic: Snapshot returns metrics sorted by identity, so
+//     two snapshots of the same state render byte-identically.
+//   - Every handle tolerates a nil receiver: an uninstrumented layer
+//     (a bare storage.Database or wal.Log in a unit test) carries nil
+//     handles and each Observe/Inc is a single predictable branch, so
+//     instrumentation is compiled in unconditionally and costs nothing
+//     measurable — see BENCH_9.json for the measured overhead.
+//
+// The trace side (trace.go) records one QueryTrace per executed
+// statement into a bounded ring: a span per plan phase (parse,
+// optimize, index scan, xpath verify, commit) carrying wall time and
+// rows, and for each costed plan node the optimizer's estimated
+// cardinality alongside the observed actual — the feedback signal the
+// cost model's calibration loop consumes (ROADMAP: "close the loop on
+// the cost model").
+//
+// http.go exposes both over HTTP: Prometheus-text /metrics, JSON
+// /trace/last, and the stdlib /debug/pprof handlers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the registry's metric types.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Label is one name="value" dimension of a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// entry is one registered metric.
+type entry struct {
+	name   string // family name
+	labels []Label
+	id     string // name + rendered labels, the sort identity
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	gfunc   func() float64
+	hist    *Histogram
+}
+
+// Registry holds named metrics. It is safe for concurrent use; the
+// fast path (updating a handle) never touches the registry's lock.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	ids     []string // sorted identities, deterministic enumeration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// metricID renders the full identity: name{k="v",...} with labels in
+// the caller's order (callers pass labels in one canonical order).
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// register fetches or creates the entry for (name, labels), enforcing
+// kind consistency. A kind clash is a programming error and panics.
+func (r *Registry) register(name string, labels []Label, kind Kind) *entry {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[id]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %v (was %v)", id, kind, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: append([]Label(nil), labels...), id: id, kind: kind}
+	r.entries[id] = e
+	pos := sort.SearchStrings(r.ids, id)
+	r.ids = append(r.ids, "")
+	copy(r.ids[pos+1:], r.ids[pos:])
+	r.ids[pos] = id
+	return e
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	e := r.register(name, labels, KindCounter)
+	if e.counter == nil {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	e := r.register(name, labels, KindGauge)
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// GaugeFunc registers a pull-style gauge evaluated at snapshot time.
+// Re-registering the same (name, labels) replaces the function — a
+// layer re-instrumented after a restart (replica promotion rebinds the
+// primary gauges) reads through the newest source.
+func (r *Registry) GaugeFunc(name string, f func() float64, labels ...Label) {
+	e := r.register(name, labels, KindGauge)
+	e.gfunc = f
+}
+
+// Histogram returns the histogram registered under (name, labels) with
+// the given bucket upper bounds (ascending; an implicit +Inf bucket
+// catches the overflow). Bounds are fixed at first registration.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	e := r.register(name, labels, KindHistogram)
+	if e.hist == nil {
+		e.hist = newHistogram(bounds)
+	}
+	return e.hist
+}
+
+// Metric is one metric's state at snapshot time.
+type Metric struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Kind   Kind    `json:"-"`
+	// Value carries a counter's or gauge's reading (histograms use Hist).
+	Value float64            `json:"value"`
+	Hist  *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// ID returns the metric's full identity (name plus rendered labels).
+func (m Metric) ID() string { return metricID(m.Name, m.Labels) }
+
+// Snapshot captures every registered metric, sorted by identity. Gauge
+// functions are evaluated inside the call; handles keep updating
+// concurrently (counters may read slightly ahead of each other, but
+// each value is itself consistent).
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.ids))
+	for _, id := range r.ids {
+		entries = append(entries, r.entries[id])
+	}
+	r.mu.Unlock()
+
+	out := make([]Metric, 0, len(entries))
+	for _, e := range entries {
+		m := Metric{Name: e.name, Labels: e.labels, Kind: e.kind}
+		switch {
+		case e.counter != nil:
+			m.Value = float64(e.counter.Value())
+		case e.gfunc != nil:
+			m.Value = e.gfunc()
+		case e.gauge != nil:
+			m.Value = float64(e.gauge.Value())
+		case e.hist != nil:
+			m.Hist = e.hist.Snapshot()
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Values flattens a snapshot into identity -> value for counters and
+// gauges (histograms contribute <id>_count and <id>_sum) — the lookup
+// form \stats renders from.
+func Values(snap []Metric) map[string]float64 {
+	out := make(map[string]float64, len(snap))
+	for _, m := range snap {
+		if m.Hist != nil {
+			out[m.ID()+"_count"] = float64(m.Hist.Count)
+			out[m.ID()+"_sum"] = m.Hist.Sum
+			continue
+		}
+		out[m.ID()] = m.Value
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), with one TYPE line per family and
+// histogram buckets rendered cumulatively with the conventional
+// _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	typed := make(map[string]bool, len(snap))
+	for _, m := range snap {
+		if !typed[m.Name] {
+			typed[m.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+		}
+		if m.Hist == nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.ID(), formatValue(m.Value)); err != nil {
+				return err
+			}
+			continue
+		}
+		cum := uint64(0)
+		for i, bound := range m.Hist.Bounds {
+			cum += m.Hist.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s %d\n", metricID(m.Name+"_bucket", append(append([]Label(nil), m.Labels...), L("le", formatValue(bound)))), cum); err != nil {
+				return err
+			}
+		}
+		cum += m.Hist.Counts[len(m.Hist.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s %d\n", metricID(m.Name+"_bucket", append(append([]Label(nil), m.Labels...), L("le", "+Inf"))), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", metricID(m.Name+"_sum", m.Labels), formatValue(m.Hist.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", metricID(m.Name+"_count", m.Labels), cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without a decimal point, +Inf spelled out.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

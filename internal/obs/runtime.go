@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntime adds process-level gauges to reg so the HTTP endpoint
+// is useful for capacity triage out of the box: goroutine count, heap
+// bytes, GC cycle count, and cumulative GC pause seconds (midpoint
+// estimate from the runtime's pause-latency histogram). Values are
+// sampled lazily at snapshot time via runtime/metrics.
+func RegisterRuntime(reg *Registry) {
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	read := func(i int) metrics.Sample {
+		// Re-read all three each time; runtime/metrics reads are cheap
+		// and a snapshot touches every gauge anyway.
+		metrics.Read(samples)
+		return samples[i]
+	}
+	reg.GaugeFunc("go_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go_heap_alloc_bytes", func() float64 {
+		return float64(read(0).Value.Uint64())
+	})
+	reg.GaugeFunc("go_gc_cycles_total", func() float64 {
+		return float64(read(1).Value.Uint64())
+	})
+	reg.GaugeFunc("go_gc_pause_seconds_total", func() float64 {
+		s := read(2)
+		h := s.Value.Float64Histogram()
+		if h == nil {
+			return 0
+		}
+		// Approximate total pause time as sum(count * bucket midpoint).
+		// The runtime's edge buckets are unbounded (-Inf / +Inf); clamp
+		// them to the finite neighbor.
+		total := 0.0
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) || lo < 0 {
+				lo = 0
+			}
+			mid := hi
+			if math.IsInf(hi, 1) {
+				mid = lo
+			} else {
+				mid = lo + (hi-lo)/2
+			}
+			total += float64(c) * mid
+		}
+		return total
+	})
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeCard pairs one costed plan node's estimated cardinality with the
+// observed actual. Op matches the EXPLAIN operator name (IXSCAN,
+// FILTER, FETCH, TBSCAN); Site is the predicate-site key the optimizer
+// costed (pattern|kind), so the estimator's calibration loop can join
+// these rows back to its statistics.
+type NodeCard struct {
+	Op     string `json:"op"`
+	Site   string `json:"site"`
+	Est    int64  `json:"est"`
+	Actual int64  `json:"actual"`
+}
+
+// Span is one plan phase of a query: parse, optimize, index scan,
+// xpath verify, or commit.
+type Span struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+	Rows     int64         `json:"rows,omitempty"`
+	// Nodes carries per-plan-node estimated-vs-actual cardinalities for
+	// the phases that execute costed nodes (index scan, xpath verify).
+	Nodes []NodeCard `json:"nodes,omitempty"`
+}
+
+// QueryTrace is the record of one executed statement.
+type QueryTrace struct {
+	ID        uint64    `json:"id"`
+	Statement string    `json:"statement"`
+	Start     time.Time `json:"start"`
+	// Total is filled by Finish.
+	Total time.Duration `json:"total_ns"`
+	Err   string        `json:"error,omitempty"`
+	Spans []Span        `json:"spans"`
+
+	tracer *Tracer
+}
+
+// Tracer records recent query traces into a bounded ring. Methods are
+// nil-safe: with tracing disabled every call is one branch.
+type Tracer struct {
+	seq      atomic.Uint64
+	arrivals atomic.Uint64
+	every    atomic.Uint64 // sample 1-in-every statements; <=1 traces all
+	mu       sync.Mutex
+	ring     []*QueryTrace // capacity-bounded; next points at the oldest slot
+	next     int
+	size     int
+}
+
+// NewTracer returns a tracer keeping the last size traces. It samples
+// every statement until SetSampleEvery says otherwise.
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = 16
+	}
+	return &Tracer{ring: make([]*QueryTrace, size), size: size}
+}
+
+// SetSampleEvery makes Sample trace one statement in n. n <= 1 traces
+// everything.
+func (t *Tracer) SetSampleEvery(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.every.Store(uint64(n))
+}
+
+// Sample begins a trace for one statement in every (see SetSampleEvery)
+// and returns nil — one atomic add and a branch — for the rest. The
+// first arrival is always traced, so a freshly started server exposes a
+// trace as soon as it has served a statement.
+func (t *Tracer) Sample(statement string) *QueryTrace {
+	if t == nil {
+		return nil
+	}
+	if n := t.every.Load(); n > 1 && t.arrivals.Add(1)%n != 1 {
+		return nil
+	}
+	return t.Begin(statement)
+}
+
+// Begin starts a trace for one statement. The returned trace is owned
+// by a single goroutine until Finish publishes it to the ring.
+func (t *Tracer) Begin(statement string) *QueryTrace {
+	if t == nil {
+		return nil
+	}
+	return &QueryTrace{
+		ID:        t.seq.Add(1),
+		Statement: statement,
+		Start:     time.Now(),
+		Spans:     make([]Span, 0, 5),
+		tracer:    t,
+	}
+}
+
+// Span appends a completed phase span and returns its index so the
+// caller can attach node cardinalities later via AddNodes.
+func (qt *QueryTrace) Span(name string, d time.Duration, rows int64) int {
+	if qt == nil {
+		return -1
+	}
+	qt.Spans = append(qt.Spans, Span{Name: name, Duration: d, Rows: rows})
+	return len(qt.Spans) - 1
+}
+
+// AddNodes attaches plan-node cardinality observations to span i.
+func (qt *QueryTrace) AddNodes(i int, nodes ...NodeCard) {
+	if qt == nil || i < 0 || i >= len(qt.Spans) {
+		return
+	}
+	qt.Spans[i].Nodes = append(qt.Spans[i].Nodes, nodes...)
+}
+
+// Nodes returns every node cardinality observation across all spans —
+// the rows the executor feeds into the workload capture ring.
+func (qt *QueryTrace) Nodes() []NodeCard {
+	if qt == nil {
+		return nil
+	}
+	var out []NodeCard
+	for _, sp := range qt.Spans {
+		out = append(out, sp.Nodes...)
+	}
+	return out
+}
+
+// Finish stamps the total duration (and error, if any) and publishes
+// the trace to the ring.
+func (qt *QueryTrace) Finish(err error) {
+	if qt == nil {
+		return
+	}
+	qt.Total = time.Since(qt.Start)
+	if err != nil {
+		qt.Err = err.Error()
+	}
+	t := qt.tracer
+	qt.tracer = nil
+	t.mu.Lock()
+	t.ring[t.next] = qt
+	t.next = (t.next + 1) % t.size
+	t.mu.Unlock()
+}
+
+// Last returns up to n most recent traces, newest first.
+func (t *Tracer) Last(n int) []*QueryTrace {
+	if t == nil {
+		return nil
+	}
+	if n <= 0 || n > t.size {
+		n = t.size
+	}
+	out := make([]*QueryTrace, 0, n)
+	t.mu.Lock()
+	for i := 0; i < t.size && len(out) < n; i++ {
+		qt := t.ring[(t.next-1-i+2*t.size)%t.size]
+		if qt == nil {
+			break
+		}
+		out = append(out, qt)
+	}
+	t.mu.Unlock()
+	return out
+}

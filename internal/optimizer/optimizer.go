@@ -70,6 +70,16 @@ type Plan struct {
 	EstCost float64
 	// EstBaseCost is the full-scan cost for reference.
 	EstBaseCost float64
+	// EstMatchingDocs is the estimated number of documents satisfying
+	// all of the statement's predicates (the FILTER node's output
+	// cardinality).
+	EstMatchingDocs float64
+	// EstCandidateDocs is the estimated number of candidate documents
+	// surviving index intersection (the FETCH node's input
+	// cardinality). For a full-scan plan it equals the table's document
+	// count. Execution compares these against observed actuals to
+	// measure estimation error.
+	EstCandidateDocs float64
 }
 
 // UsesIndexes reports whether the plan uses any index.
@@ -312,7 +322,11 @@ func (o *Optimizer) EvaluateIndexes(stmt *xquery.Statement, config []xindex.Defi
 func (o *Optimizer) plan(stmt *xquery.Statement, ts *xstats.TableStats, config []xindex.Definition) (*Plan, error) {
 	cs := o.compile(stmt, ts)
 	base := cs.baseCost
-	p := &Plan{Stmt: stmt, EstCost: base, EstBaseCost: base}
+	p := &Plan{
+		Stmt: stmt, EstCost: base, EstBaseCost: base,
+		EstMatchingDocs:  cs.matchingDocs,
+		EstCandidateDocs: cs.docCount,
+	}
 
 	if stmt.Kind == xquery.Insert {
 		return p, nil // inserts never use indexes
@@ -380,6 +394,7 @@ func (o *Optimizer) plan(stmt *xquery.Statement, ts *xstats.TableStats, config [
 	if len(accesses) > 0 {
 		p.Accesses = accesses
 		p.EstCost = bestCost
+		p.EstCandidateDocs = docFrac * cs.docCount
 	}
 	return p, nil
 }

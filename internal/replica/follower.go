@@ -107,11 +107,15 @@ type FollowerInfo struct {
 	Epoch uint64
 	// AppliedLSN is the last record consumed; DurableLSN the last
 	// fsynced locally; PrimaryFlushedLSN the primary's tip as last
-	// heard. LagRecords = PrimaryFlushedLSN - AppliedLSN.
+	// heard. LagRecords = PrimaryFlushedLSN - AppliedLSN (records still
+	// waiting to apply); LagLSN = PrimaryFlushedLSN - DurableLSN (the
+	// LSN distance to local durability, which also covers applied but
+	// not-yet-fsynced records).
 	AppliedLSN        uint64
 	DurableLSN        uint64
 	PrimaryFlushedLSN uint64
 	LagRecords        uint64
+	LagLSN            uint64
 	// LastContact is when the stream last produced a frame; Connected
 	// whether a stream is up right now; Reconnects how many times the
 	// stream has been re-established.
@@ -173,6 +177,7 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 		srv.Manager().DropDeferred(def)
 		return nil
 	})
+	f.instrument(srv.Metrics())
 	go f.loop()
 	return f, nil
 }
@@ -301,9 +306,14 @@ func (f *Follower) Server() *server.Server { return f.srv }
 func (f *Follower) Info() FollowerInfo {
 	applied := f.applied.Load()
 	tip := f.primaryFlushed.Load()
+	durable := f.srv.WAL().DurableLSN()
 	lag := uint64(0)
 	if tip > applied {
 		lag = tip - applied
+	}
+	lagLSN := uint64(0)
+	if tip > durable {
+		lagLSN = tip - durable
 	}
 	f.mu.Lock()
 	err := f.lastErr
@@ -311,9 +321,10 @@ func (f *Follower) Info() FollowerInfo {
 	return FollowerInfo{
 		Epoch:             f.epoch.Load(),
 		AppliedLSN:        applied,
-		DurableLSN:        f.srv.WAL().DurableLSN(),
+		DurableLSN:        durable,
 		PrimaryFlushedLSN: tip,
 		LagRecords:        lag,
+		LagLSN:            lagLSN,
 		LastContact:       time.Unix(0, f.lastContact.Load()),
 		Connected:         f.connected.Load(),
 		Reconnects:        f.reconnects.Load(),

@@ -91,12 +91,14 @@ func NewPrimary(srv *server.Server, cfg PrimaryConfig) (*Primary, error) {
 			return nil, err
 		}
 	}
-	return &Primary{
+	p := &Primary{
 		srv:    srv,
 		cfg:    cfg.withDefaults(),
 		epoch:  epoch,
 		states: make(map[*followerConn]struct{}),
-	}, nil
+	}
+	p.instrument(srv.Metrics())
+	return p, nil
 }
 
 // Epoch returns the primary's epoch.

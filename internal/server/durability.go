@@ -209,7 +209,9 @@ func Recover(cfg Config, bootstrap func() (*storage.Database, error)) (*Server, 
 	}
 
 	s := New(db, cfg)
-	s.reorderBuffered, s.reorderPeak = applier.ReorderStats()
+	buffered, peak := applier.ReorderStats()
+	s.reorderBuffered.Store(buffered)
+	s.reorderPeak.Store(peak)
 	for _, def := range defs {
 		if _, err := s.mgr.EnsureBuilt(def); err != nil {
 			return fail(err)
@@ -283,10 +285,12 @@ func (s *Server) attachWAL(l *wal.Log, dir string) {
 
 // setWAL hands the server its log without a change-feed sink — the
 // replica configuration, where every record arrives from the primary's
-// stream already logged. Promote upgrades to a full attachWAL.
+// stream already logged. Promote upgrades to a full attachWAL. The log
+// joins the server's metrics registry here, on both paths.
 func (s *Server) setWAL(l *wal.Log, dir string) {
 	s.wal = l
 	s.walDir = dir
+	l.InstrumentWith(s.met.reg)
 }
 
 // attachSink subscribes the WAL sink to every table's change feed.
@@ -367,5 +371,9 @@ func (s *Server) checkpointLocked() error {
 			return err
 		}
 	}
-	return s.wal.Truncate(lsn)
+	if err := s.wal.Truncate(lsn); err != nil {
+		return err
+	}
+	s.met.checkpoints.Inc()
+	return nil
 }

@@ -46,6 +46,7 @@ import (
 
 	"xixa/internal/core"
 	"xixa/internal/engine"
+	"xixa/internal/obs"
 	"xixa/internal/optimizer"
 	"xixa/internal/storage"
 	"xixa/internal/wal"
@@ -242,17 +243,21 @@ type Server struct {
 	// stable point-in-time image. Commits never block each other here.
 	commitGate sync.RWMutex
 
-	// Transaction counters, exposed through TxnStats.
-	txnSeq    atomic.Uint64 // WAL framing IDs for multi-op transactions
-	commits   atomic.Uint64
-	aborts    atomic.Uint64
-	conflicts atomic.Uint64 // first-writer-wins losers (each retry counts)
+	// txnSeq issues WAL framing IDs for multi-op transactions. The
+	// commit/abort/conflict counters live on met (metrics.go): the
+	// registry is the single source of truth and TxnStats reads it.
+	txnSeq atomic.Uint64
+
+	// met is the server's observability bundle: the metrics registry,
+	// the serving layer's counter/histogram handles, and the trace ring.
+	met *serverMetrics
 
 	// reorderBuffered/reorderPeak snapshot the recovery applier's
 	// stamp-reorder counters (frames that arrived ahead of a stamp gap
-	// during replay); set once by Recover, read by TxnStats.
-	reorderBuffered uint64
-	reorderPeak     uint64
+	// during replay); set once by Recover, read by TxnStats and the
+	// registry's gauges.
+	reorderBuffered atomic.Uint64
+	reorderPeak     atomic.Uint64
 
 	sessMu   sync.Mutex
 	sessions int
@@ -286,6 +291,7 @@ func New(db *storage.Database, cfg Config) *Server {
 		cat:     cat,
 		eng:     engine.New(db, opt, cat),
 		capture: workload.NewCapture(cfg.CaptureSize),
+		met:     newServerMetrics(),
 		admit:   make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
 		slots:   make(chan struct{}, cfg.MaxConcurrent),
 	}
@@ -295,6 +301,20 @@ func New(db *storage.Database, cfg Config) *Server {
 	if cfg.Replica {
 		s.readOnly.Store(true)
 	}
+	// Wire the layers below into the server's registry, and bridge the
+	// state they already maintain through pull-style gauges.
+	db.InstrumentWith(s.met.reg)
+	s.mgr.InstrumentWith(s.met.reg)
+	obs.RegisterRuntime(s.met.reg)
+	s.met.reg.GaugeFunc("xixa_sessions_open", func() float64 {
+		s.sessMu.Lock()
+		defer s.sessMu.Unlock()
+		return float64(s.sessions)
+	})
+	s.met.reg.GaugeFunc("xixa_capture_statements", func() float64 { return float64(s.capture.Len()) })
+	s.met.reg.GaugeFunc("xixa_index_definitions", func() float64 { return float64(len(s.cat.Definitions())) })
+	s.met.reg.GaugeFunc("xixa_replay_reorder_buffered", func() float64 { return float64(s.reorderBuffered.Load()) })
+	s.met.reg.GaugeFunc("xixa_replay_reorder_peak", func() float64 { return float64(s.reorderPeak.Load()) })
 	return s
 }
 
@@ -382,6 +402,7 @@ func (s *Server) NewSession() (*Session, error) {
 	}
 	s.sessions++
 	s.nextSess++
+	s.met.sessions.Inc()
 	return &Session{srv: s, id: s.nextSess}, nil
 }
 
@@ -426,13 +447,24 @@ type Result struct {
 	Stats engine.Stats
 }
 
-// Execute parses and executes one statement.
+// Execute parses and executes one statement. When the statement lands
+// in the tracer's sample, the trace carries a parse span ahead of the
+// execution phases.
 func (sess *Session) Execute(raw string) (*Result, error) {
+	qt := sess.srv.met.tracer.Sample(raw)
+	var parseStart time.Time
+	if qt != nil {
+		parseStart = time.Now()
+	}
 	stmt, err := xquery.Parse(raw)
+	if qt != nil {
+		qt.Span("parse", time.Since(parseStart), 0)
+	}
 	if err != nil {
+		qt.Finish(err)
 		return nil, err
 	}
-	return sess.ExecuteStmt(stmt)
+	return sess.executeStmt(stmt, qt)
 }
 
 // ExecuteStmt executes a parsed statement under admission control: it
@@ -443,13 +475,23 @@ func (sess *Session) Execute(raw string) (*Result, error) {
 // documents commit in parallel. Every successful execution is sampled
 // into the workload capture ring.
 func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
+	return sess.executeStmt(stmt, sess.srv.met.tracer.Sample(stmt.Raw))
+}
+
+// executeStmt is the execution core behind Execute/ExecuteStmt. qt is
+// the statement's sampled trace (usually nil); the statement counters
+// and the latency histogram run on every call regardless.
+func (sess *Session) executeStmt(stmt *xquery.Statement, qt *obs.QueryTrace) (*Result, error) {
 	s := sess.srv
 	if s.closed.Load() {
+		qt.Finish(ErrClosed)
 		return nil, ErrClosed
 	}
 	select {
 	case s.admit <- struct{}{}:
 	default:
+		s.met.overloaded.Inc()
+		qt.Finish(ErrOverloaded)
 		return nil, ErrOverloaded
 	}
 	defer func() { <-s.admit }()
@@ -460,6 +502,7 @@ func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 	wg := s.flight.enter()
 	defer wg.Done()
 
+	start := time.Now()
 	var refs []xindex.Ref
 	var st engine.Stats
 	var err error
@@ -468,6 +511,8 @@ func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 			sess.mu.Lock()
 			sess.errors++
 			sess.mu.Unlock()
+			s.met.stmtErrors.Inc()
+			qt.Finish(werr)
 			return nil, werr
 		}
 		// Mutations run as single-statement transactions: snapshot,
@@ -477,10 +522,12 @@ func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 		// fsync, other writers commit and append behind it, so one
 		// fsync covers the whole batch (group commit) and commit
 		// throughput scales with batch size instead of disk latency.
-		refs, st, err = s.executeTxn(stmt, sess)
+		refs, st, err = s.executeTxn(stmt, sess, qt)
 	} else {
-		refs, st, err = s.eng.Execute(stmt)
+		refs, st, err = s.eng.ExecuteTraced(stmt, qt)
 	}
+	s.met.stmtSeconds.Observe(time.Since(start).Seconds())
+	qt.Finish(err)
 	sess.mu.Lock()
 	if err != nil {
 		sess.errors++
@@ -490,9 +537,19 @@ func (sess *Session) ExecuteStmt(stmt *xquery.Statement) (*Result, error) {
 	}
 	sess.mu.Unlock()
 	if err != nil {
+		s.met.stmtErrors.Inc()
 		return nil, err
 	}
+	s.met.statements.Inc()
 	s.capture.Observe(stmt, 1)
+	// A traced statement's estimated-vs-actual plan-node cardinalities
+	// feed the capture ring's calibration aggregates (workload.CardStats)
+	// — the signal a future cost-model feedback round consumes.
+	if qt != nil {
+		if nodes := qt.Nodes(); len(nodes) != 0 {
+			s.capture.ObserveCards(cardObservations(nodes))
+		}
+	}
 	return &Result{Refs: refs, Stats: st}, nil
 }
 

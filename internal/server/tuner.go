@@ -98,11 +98,13 @@ func (s *Server) tuneOnceLocked() (*TuneReport, error) {
 	start := time.Now()
 	t := &s.tuner
 	t.round++
+	s.met.tunerRounds.Inc()
 	rep := &TuneReport{Round: t.round}
 
 	w := s.capture.Workload()
 	if w.Len() == 0 {
 		rep.Skipped = true
+		s.met.tunerSkipped.Inc()
 		return rep, nil
 	}
 	rep.WorkloadSize = w.Len()

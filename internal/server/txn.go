@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"xixa/internal/engine"
+	"xixa/internal/obs"
 	"xixa/internal/storage"
 	"xixa/internal/wal"
 	"xixa/internal/xindex"
@@ -105,20 +106,22 @@ type TxnStats struct {
 	ReorderPeak     uint64
 }
 
-// TxnStats returns the server's transaction counters.
+// TxnStats returns the server's transaction counters, read from the
+// same registry handles the commit path updates — TxnStats, \stats, and
+// /metrics can never disagree.
 func (s *Server) TxnStats() TxnStats {
 	mv := s.db.MVCCStats()
 	return TxnStats{
-		Commits:         s.commits.Load(),
-		Aborts:          s.aborts.Load(),
-		Conflicts:       s.conflicts.Load(),
+		Commits:         s.met.commits.Value(),
+		Aborts:          s.met.aborts.Value(),
+		Conflicts:       s.met.conflicts.Value(),
 		StampsAllocated: mv.StampsAllocated,
 		Watermark:       mv.Watermark,
 		PublishLag:      mv.PublishLag,
 		PublishLagPeak:  mv.PublishLagPeak,
 		PublishWait:     time.Duration(mv.PublishWaitNs),
-		ReorderBuffered: s.reorderBuffered,
-		ReorderPeak:     s.reorderPeak,
+		ReorderBuffered: s.reorderBuffered.Load(),
+		ReorderPeak:     s.reorderPeak.Load(),
 	}
 }
 
@@ -189,13 +192,13 @@ func (s *Server) commitTxn(tx *engine.Txn) (engine.CommitInfo, error) {
 	info, err := tx.Commit(prep)
 	s.commitGate.RUnlock()
 	if err != nil {
-		s.aborts.Add(1)
+		s.met.aborts.Inc()
 		if errors.Is(err, storage.ErrConflict) {
-			s.conflicts.Add(1)
+			s.met.conflicts.Inc()
 		}
 		return info, err
 	}
-	s.commits.Add(1)
+	s.met.commits.Inc()
 	// The fsync wait happens outside the gate: writers behind this one
 	// append their records meanwhile and ride the same group commit.
 	if s.wal != nil && info.LogLSN > 0 {
@@ -210,23 +213,35 @@ func (s *Server) commitTxn(tx *engine.Txn) (engine.CommitInfo, error) {
 // transaction, retrying on first-writer-wins conflicts with a fresh
 // snapshot each time. When sess is non-nil, conflict retries and the
 // backoff time slept between them are charged to the session's
-// cumulative counters.
-func (s *Server) executeTxn(stmt *xquery.Statement, sess *Session) ([]xindex.Ref, engine.Stats, error) {
+// cumulative counters; the registry's retry/backoff counters always
+// accumulate the identical values, so the two stay in exact agreement.
+// A retried statement's trace (qt non-nil) accumulates one set of
+// phase spans per attempt.
+func (s *Server) executeTxn(stmt *xquery.Statement, sess *Session, qt *obs.QueryTrace) ([]xindex.Ref, engine.Stats, error) {
 	for attempt := 0; ; attempt++ {
 		tx := s.eng.Begin()
-		refs, st, err := tx.Execute(stmt)
+		refs, st, err := tx.ExecuteTraced(stmt, qt)
 		if err != nil {
 			tx.Rollback()
-			s.aborts.Add(1)
+			s.met.aborts.Inc()
 			return nil, st, err
 		}
+		var commitStart time.Time
+		if qt != nil {
+			commitStart = time.Now()
+		}
 		info, cerr := s.commitTxn(tx)
+		if qt != nil {
+			qt.Span("commit", time.Since(commitStart), 0)
+		}
 		if cerr == nil {
 			st.Add(engine.Stats{IndexEntriesTouched: info.Maintenance.IndexEntriesTouched})
 			return refs, st, nil
 		}
 		if errors.Is(cerr, storage.ErrConflict) && attempt < maxConflictRetries {
 			slept := sleepConflictBackoff(attempt)
+			s.met.retries.Inc()
+			s.met.backoffNs.Add(uint64(slept.Nanoseconds()))
 			if sess != nil {
 				sess.mu.Lock()
 				sess.retries++
@@ -327,5 +342,5 @@ func (t *Txn) Rollback() {
 	}
 	t.done = true
 	t.tx.Rollback()
-	t.sess.srv.aborts.Add(1)
+	t.sess.srv.met.aborts.Inc()
 }

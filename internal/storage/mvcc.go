@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xixa/internal/obs"
 	"xixa/internal/xmltree"
 )
 
@@ -80,6 +81,10 @@ type mvccState struct {
 	lagPeak   uint64          // max len(published) observed
 
 	publishNs atomic.Int64 // total ns from stamp allocation to publish
+
+	// publishHist, when instrumented (Database.InstrumentWith), receives
+	// each commit's allocation-to-publish latency in seconds.
+	publishHist atomic.Pointer[obs.Histogram]
 
 	pinMu sync.Mutex
 	pins  map[uint64]int // pinned stamp -> refcount
@@ -547,7 +552,9 @@ func (db *Database) CommitTx(snapLSN uint64, ops []TxOp, prepare func(ops []TxOp
 		t.mu.Unlock()
 	}
 	mv.finish(stamp)
-	mv.publishNs.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	mv.publishNs.Add(elapsed.Nanoseconds())
+	mv.publishHist.Load().Observe(elapsed.Seconds())
 	return stamp, logLSN, nil
 }
 

@@ -68,6 +68,7 @@ import (
 	"sync"
 	"time"
 
+	"xixa/internal/obs"
 	"xixa/internal/persist"
 )
 
@@ -198,6 +199,13 @@ type Log struct {
 	flushCh   chan struct{} // closed and replaced whenever flushed advances
 	flushStop chan struct{}
 	flushDone chan struct{}
+
+	// Metric handles (instrument.go); nil until InstrumentWith, and
+	// nil-safe, so an uninstrumented log pays one branch per event.
+	metAppends   *obs.Counter
+	metFsyncs    *obs.Counter
+	metFsyncHist *obs.Histogram
+	metBatchHist *obs.Histogram
 }
 
 // OpenResult reports what Open found in an existing log.
@@ -533,6 +541,7 @@ func (l *Log) appendLocked(payload []byte) error {
 	}
 	l.last++
 	l.size += frameLen + int64(len(payload))
+	l.metAppends.Inc()
 	return nil
 }
 
@@ -734,15 +743,21 @@ func (l *Log) leaderSyncLocked() error {
 		return err
 	}
 	target := l.last
+	durableBefore := l.durable
 	f := l.f
 	l.mu.Unlock()
+	syncStart := time.Now()
 	err := f.Sync()
+	syncDur := time.Since(syncStart)
 	l.mu.Lock()
 	l.syncing = false
 	if err != nil {
 		l.fail = err
-	} else if target > l.durable {
-		l.durable = target
+	} else {
+		l.observeFsync(syncDur, durableBefore, target)
+		if target > l.durable {
+			l.durable = target
+		}
 	}
 	l.cond.Broadcast()
 	return err
@@ -790,10 +805,13 @@ func (l *Log) syncLocked() error {
 		return err
 	}
 	target := l.last
+	durableBefore := l.durable
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.fail = err
 		return err
 	}
+	l.observeFsync(time.Since(syncStart), durableBefore, target)
 	if target > l.durable {
 		l.durable = target
 	}

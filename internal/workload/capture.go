@@ -33,6 +33,12 @@ type Capture struct {
 	entries map[string]*captureEntry
 	order   []string // first-seen order, for deterministic output
 	seq     int64
+
+	// Cardinality feedback (cardinality.go) lives under its own mutex
+	// so per-plan-node observations never contend with statement
+	// observation on the query hot path.
+	cardMu sync.Mutex
+	cards  map[[2]string]*cardAgg
 }
 
 type captureEntry struct {

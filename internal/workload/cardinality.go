@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"sort"
+)
+
+// CardObservation is one plan-node cardinality feedback row: the
+// optimizer estimated Est entries/documents for Site and execution
+// observed Actual. Op is the plan operator (IXSCAN, FILTER, FETCH,
+// TBSCAN). The executor appends these after every traced statement; a
+// future calibration pass joins them back to the estimator's
+// statistics by Site.
+type CardObservation struct {
+	Op     string
+	Site   string
+	Est    int64
+	Actual int64
+}
+
+// CardStats aggregates the feedback per (op, site) key: observation
+// count, totals, and the mean q-error — max(est/actual, actual/est)
+// with both sides floored at 1 — the standard symmetric measure of
+// cardinality estimation error.
+type CardStats struct {
+	Op          string
+	Site        string
+	Count       int64
+	TotalEst    int64
+	TotalActual int64
+	MeanQError  float64
+}
+
+// cardAgg is the running aggregate behind one CardStats row.
+type cardAgg struct {
+	count       int64
+	totalEst    int64
+	totalActual int64
+	sumQError   float64
+}
+
+// qError is the symmetric ratio error of one observation.
+func qError(est, actual int64) float64 {
+	e, a := float64(est), float64(actual)
+	if e < 1 {
+		e = 1
+	}
+	if a < 1 {
+		a = 1
+	}
+	return math.Max(e/a, a/e)
+}
+
+// maxCardSites bounds the per-(op, site) aggregate map; beyond it new
+// sites are dropped (existing sites keep accumulating). The live site
+// population is bounded by the plan cache in practice, so the cap is a
+// safety net, not a working limit.
+const maxCardSites = 4096
+
+// ObserveCards folds a batch of plan-node cardinality observations
+// into the capture's per-site aggregates.
+func (c *Capture) ObserveCards(obs []CardObservation) {
+	if len(obs) == 0 {
+		return
+	}
+	c.cardMu.Lock()
+	defer c.cardMu.Unlock()
+	if c.cards == nil {
+		c.cards = make(map[[2]string]*cardAgg)
+	}
+	for _, o := range obs {
+		key := [2]string{o.Op, o.Site}
+		agg, ok := c.cards[key]
+		if !ok {
+			if len(c.cards) >= maxCardSites {
+				continue
+			}
+			agg = &cardAgg{}
+			c.cards[key] = agg
+		}
+		agg.count++
+		agg.totalEst += o.Est
+		agg.totalActual += o.Actual
+		agg.sumQError += qError(o.Est, o.Actual)
+	}
+}
+
+// CardStats returns the per-(op, site) cardinality feedback aggregates
+// sorted by op then site — deterministic for rendering and tests.
+func (c *Capture) CardStats() []CardStats {
+	c.cardMu.Lock()
+	defer c.cardMu.Unlock()
+	out := make([]CardStats, 0, len(c.cards))
+	for key, agg := range c.cards {
+		out = append(out, CardStats{
+			Op:          key[0],
+			Site:        key[1],
+			Count:       agg.count,
+			TotalEst:    agg.totalEst,
+			TotalActual: agg.totalActual,
+			MeanQError:  agg.sumQError / float64(agg.count),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}

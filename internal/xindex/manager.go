@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"xixa/internal/obs"
 	"xixa/internal/storage"
 )
 
@@ -35,6 +36,23 @@ type Manager struct {
 	drain func()
 
 	mu sync.Mutex // serializes builds/drops; never held across drain
+
+	// Nil-safe metric handles; zero values when uninstrumented.
+	metBuilds  *obs.Counter
+	metDrops   *obs.Counter
+	metCatchup *obs.Counter
+}
+
+// InstrumentWith registers the manager's lifecycle counters on reg:
+// online builds and deferred drops completed, and the total change-feed
+// events the builds' catch-up phases replayed (the concurrent-write
+// pressure absorbed while indexing live tables).
+func (m *Manager) InstrumentWith(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metBuilds = reg.Counter("xixa_index_builds_total")
+	m.metDrops = reg.Counter("xixa_index_drops_total")
+	m.metCatchup = reg.Counter("xixa_index_build_catchup_events_total")
 }
 
 // NewManager creates a lifecycle manager over a database and catalog.
@@ -62,6 +80,8 @@ func (m *Manager) EnsureBuilt(def Definition) (bool, error) {
 		return false, err
 	}
 	m.cat.Add(idx)
+	m.metBuilds.Inc()
+	m.metCatchup.Add(uint64(idx.CatchupEvents()))
 	return true, nil
 }
 
@@ -86,6 +106,7 @@ func (m *Manager) DropDeferred(def Definition) bool {
 		m.drain()
 	}
 	idx.Release()
+	m.metDrops.Inc()
 	return true
 }
 

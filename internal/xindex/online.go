@@ -153,8 +153,14 @@ func BuildOnline(t *storage.Table, def Definition) (*Index, error) {
 		batch := o.buf
 		o.buf = nil
 		o.mu.Unlock()
+		idx.catchupEvents += len(batch)
 		for _, c := range batch {
 			idx.applyChange(c)
 		}
 	}
 }
+
+// CatchupEvents reports how many buffered change-feed events the
+// build's catch-up phase replayed — the concurrent-mutation pressure
+// the online build absorbed. Fixed once BuildOnline returns.
+func (x *Index) CatchupEvents() int { return x.catchupEvents }

@@ -140,6 +140,10 @@ type Index struct {
 	graveyard      []tomb
 	versionedSince uint64
 	lastPrune      int
+
+	// catchupEvents counts the change-feed events BuildOnline's catch-up
+	// phase replayed; fixed before the index is published.
+	catchupEvents int
 }
 
 // tomb is a dead index entry kept for snapshot scans: the entry's key

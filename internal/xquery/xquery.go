@@ -26,6 +26,7 @@ package xquery
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"xixa/internal/xmltree"
 	"xixa/internal/xpath"
@@ -96,6 +97,14 @@ type Statement struct {
 	Match    xpath.Path        // Delete/Update: absolute predicate path
 	SetPath  xpath.Path        // Update: relative leaf path to modify
 	SetValue xpath.Value       // Update: new value
+
+	// normKey memoizes NormalizedKey. The key is derived from fields
+	// that are fixed once parsing returns, and it is re-read on every
+	// workload-capture observation and plan-trace site, so rebuilding
+	// the string each time is measurable on the serve path. Statements
+	// are shared by pointer (the optimizer's plan cache keys on the
+	// pointer too), which makes per-statement memoization safe.
+	normKey atomic.Pointer[string]
 }
 
 // NormalizedPath returns the statement's access path with all where
@@ -131,6 +140,17 @@ func (s *Statement) NormalizedPath() xpath.Path {
 // set clause for updates. Inserts key by their raw text: distinct
 // documents are distinct statements.
 func (s *Statement) NormalizedKey() string {
+	if k := s.normKey.Load(); k != nil {
+		return *k
+	}
+	key := s.buildNormalizedKey()
+	// A concurrent caller may race here; both compute the same string,
+	// so whichever Store wins is correct.
+	s.normKey.Store(&key)
+	return key
+}
+
+func (s *Statement) buildNormalizedKey() string {
 	var b strings.Builder
 	b.WriteString(s.Kind.String())
 	b.WriteByte('|')
