@@ -23,6 +23,7 @@ import (
 	"xixa/internal/optimizer"
 	"xixa/internal/replica"
 	"xixa/internal/server"
+	"xixa/internal/shard"
 	"xixa/internal/storage"
 	"xixa/internal/tpox"
 	"xixa/internal/wal"
@@ -645,6 +646,65 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	b.Run("untuned", func(b *testing.B) { run(b, false) })
 	b.Run("tuned", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkShardedServe measures statement cost through the shard
+// router as the shard count grows. The point arm executes key-pinned
+// point queries on an untuned cluster: the router sends each to its
+// one owning shard, which scans 1/N of the corpus, so per-op cost
+// drops near-linearly with the shard count even on one core — the
+// win is work reduction, not parallelism. The scan arm scatter-gathers
+// an unkeyed predicate to every shard: the same total work plus
+// fan-out overhead, the price of statements the router cannot pin.
+func BenchmarkShardedServe(b *testing.B) {
+	const docs = 1200
+	run := func(b *testing.B, shards int, scatter bool) {
+		c, err := shard.NewCluster(shard.Config{
+			Shards: shards,
+			Keys:   map[string]string{"SECURITY": "/Security/Symbol"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.CreateTable("SECURITY"); err != nil {
+			b.Fatal(err)
+		}
+		sess, err := c.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		for i := 0; i < docs; i++ {
+			if _, err := sess.Execute(fmt.Sprintf(
+				`insert into SECURITY value <Security><Symbol>BS%05d</Symbol><Yield>%d.%d</Yield><SecInfo><StockInformation><Sector>S%d</Sector></StockInformation></SecInfo></Security>`,
+				i, i%10, i%10, i%8)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stmts := make([]*xquery.Statement, 64)
+		for i := range stmts {
+			if scatter {
+				stmts[i] = xquery.MustParse(fmt.Sprintf(
+					`for $s in SECURITY('SDOC')/Security where $s/SecInfo/StockInformation/Sector = "S%d" return $s`, i%8))
+			} else {
+				stmts[i] = xquery.MustParse(fmt.Sprintf(
+					`for $s in SECURITY('SDOC')/Security where $s/Symbol = "BS%05d" return $s`, i*17%docs))
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.ExecuteStmt(stmts[i%len(stmts)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("point/shards=%d", n), func(b *testing.B) { run(b, n, false) })
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("scan/shards=%d", n), func(b *testing.B) { run(b, n, true) })
+	}
 }
 
 // BenchmarkOnlineBuildCatchup measures one BuildOnline of the Symbol

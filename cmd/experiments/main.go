@@ -8,7 +8,7 @@
 // Names: table1, fig2, fig3, table3, table4, fig4, fig5,
 // ablation-calls, ablation-beta, updates, update-stream, serve-tune,
 // multi-writer, crash-recover, replica-failover, restore-lsn, xmark,
-// all (default).
+// sharded-serve, all (default).
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "TPoX data scale factor (1 = 1000 securities, 2000 orders, 500 customers)")
-	run := flag.String("run", "all", "comma-separated experiment names (table1,fig2,fig3,table3,table4,fig4,fig5,ablation-calls,ablation-beta,updates,update-stream,serve-tune,multi-writer,crash-recover,replica-failover,restore-lsn,xmark,all)")
+	run := flag.String("run", "all", "comma-separated experiment names (table1,fig2,fig3,table3,table4,fig4,fig5,ablation-calls,ablation-beta,updates,update-stream,serve-tune,multi-writer,crash-recover,replica-failover,restore-lsn,xmark,sharded-serve,all)")
 	parallelism := flag.Int("parallelism", 0, "advisor fan-out width (0 = GOMAXPROCS, 1 = the paper's serial pipeline)")
 	flag.Parse()
 
@@ -92,6 +92,10 @@ func main() {
 		}},
 		{"observe", func() error { _, err := experiments.Observe(out, *scale); return err }},
 		{"xmark", func() error { _, err := experiments.XMark(out, *scale, *parallelism); return err }},
+		{"sharded-serve", func() error {
+			_, err := experiments.ShardedServe(out, *scale, 4)
+			return err
+		}},
 	}
 	ran := 0
 	for _, s := range steps {

@@ -10,7 +10,7 @@
 //	      [-sync always|batched|off] [-checkpoint-mb N] [-archive-dir dir]
 //	      [-replication-addr :4096] [-replica-of host:4096]
 //	      [-tune-interval 30s] [-budget-mb N] [-algorithm topdown-full]
-//	      [-http-addr :4097] [-demo N]
+//	      [-http-addr :4097] [-shards N] [-demo N]
 //
 // With -http-addr, the daemon serves its observability surface over
 // HTTP: Prometheus-format metrics at /metrics, the most recent query
@@ -38,6 +38,17 @@
 // retention that lets any follower catch up from any age and
 // server.RestoreToLSN rebuild the exact image at any committed LSN.
 //
+// With -shards N (N>1), the daemon partitions every table by
+// document-key hash across N in-process shards behind a deterministic
+// router (internal/shard): inserts and key-equality statements go to
+// the owning shard alone, everything else scatter-gathers with a
+// document-ID-ordered merge, so results — IDs and ordering included —
+// are bit-identical to an unsharded daemon. Capture and statistics
+// merge into one global plane the advisor tunes from, and \shards
+// shows the router counters and per-shard placement. Sharded mode is
+// in-memory: incompatible with -wal-dir, -snapshot, -replica-of,
+// -replication-addr, and -demo.
+//
 // With -snapshot (and no -wal-dir), the daemon restores the database
 // AND the materialized index catalog from the file at startup (warm
 // start: index plans serve immediately), and persists both on graceful
@@ -55,6 +66,7 @@
 //	                    (json: the full registry snapshot as JSON)
 //	\metrics            the metrics registry in Prometheus text format
 //	\promote            promote this follower to primary (fences the old one)
+//	\shards             router counters and per-shard placement (-shards N)
 //	\explain <stmt>     show the plan without executing
 //	\quit               close the connection
 //
@@ -83,6 +95,7 @@ import (
 	"xixa/internal/obs"
 	"xixa/internal/replica"
 	"xixa/internal/server"
+	"xixa/internal/shard"
 	"xixa/internal/storage"
 	"xixa/internal/tpox"
 	"xixa/internal/wal"
@@ -106,7 +119,27 @@ func main() {
 	demo := flag.Int("demo", 0, "drive N synthetic clients against the daemon and exit")
 	parallelism := flag.Int("parallelism", 0, "advisor fan-out width (0 = GOMAXPROCS)")
 	httpAddr := flag.String("http-addr", "", "serve /metrics, /trace/last, and /debug/pprof on this address (empty disables)")
+	shards := flag.Int("shards", 1, "partition the database across N in-process shards (N>1; incompatible with -wal-dir, -snapshot, -replica-of, -replication-addr, -demo)")
 	flag.Parse()
+
+	if *shards > 1 {
+		if *walDir != "" || *snapshot != "" || *replicaOf != "" || *replAddr != "" {
+			log.Fatalf("xixad: -shards does not compose with durability or replication flags yet")
+		}
+		if *demo > 0 {
+			log.Fatalf("xixad: -demo is unsharded only")
+		}
+		runSharded(*shards, *scale, *addr, *httpAddr, shard.Config{
+			Keys: tpoxKeys(),
+			Server: server.Config{
+				Budget:      *budgetMB << 20,
+				Algorithm:   *algorithm,
+				Parallelism: *parallelism,
+			},
+			TuneInterval: *tuneEvery,
+		})
+		return
+	}
 
 	cfg := server.Config{
 		TuneInterval:    *tuneEvery,

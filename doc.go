@@ -23,6 +23,8 @@
 //   - internal/server — the concurrent serving layer: sessions,
 //     admission control, live workload capture, and the autonomous
 //     tuning loop behind cmd/xixad.
+//   - internal/shard — horizontal sharding: the key-hash router,
+//     scatter-gather execution, and the cluster-level advisor.
 //   - internal/tpox, xmark — benchmark data and workload generators.
 //   - internal/experiments — regenerates every table and figure of the
 //     paper's evaluation.
@@ -124,6 +126,29 @@
 // directory, checkpoints preserve WAL segments and LSN-stamped
 // snapshots instead of deleting them, and server.RestoreToLSN
 // rebuilds the exact committed image at any LSN in history.
+//
+// # Horizontal sharding
+//
+// internal/shard partitions every table by document-key hash across N
+// in-process server instances behind one deterministic router (xixad
+// -shards N). Inserts hash the table's declared key (an exact
+// child-step path such as /Security/Symbol) to the owning shard, which
+// allocates the document ID from a global per-table counter so IDs
+// match an unsharded database exactly; a key-equality statement whose
+// predicate the router can prove touches one key value pins to that
+// shard alone; everything else scatter-gathers — per-shard goroutines
+// bounded by a fan-out gate that fails fast with ErrOverloaded, then a
+// document-ID-ordered merge. Pin detection is conservative: a missed
+// pin costs a scatter, never a wrong answer, so cluster results — IDs
+// and ordering included — are bit-identical to an unsharded server
+// (enforced end to end by the sharded-serve experiment over the full
+// TPoX+XMark corpus). The advisor tunes the cluster from a global
+// plane: per-shard capture rings merge with decay-epoch alignment and
+// per-shard synopses merge via xstats.TableStats.Merge, and the
+// cluster tuner reconciles one target configuration — global
+// (identical per shard, scatters stay fast everywhere) or per-shard
+// (each shard tuned to the traffic its keys attract) — with the same
+// build/drop hysteresis as the single-server loop.
 //
 // # Observability
 //

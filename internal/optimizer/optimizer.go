@@ -205,6 +205,24 @@ func (o *Optimizer) TableStats(table string) (*xstats.TableStats, error) {
 	return o.source.TableStats(table)
 }
 
+// SnapshotTableStats returns an independently-owned statistics snapshot
+// for a table, safe to Merge into another synopsis. Live sources clone
+// under the keeper's lock (the retained store keeps mutating as the
+// table does); frozen sources return their immutable snapshot directly.
+// This is the handle a cross-shard stats plane reads: each shard's
+// synopsis is snapshotted here, then merged into the global advisor's
+// view.
+func (o *Optimizer) SnapshotTableStats(table string) (*xstats.TableStats, error) {
+	if ks, ok := o.source.(*xstats.KeeperSet); ok {
+		return ks.CloneTableStats(table)
+	}
+	ts, err := o.source.TableStats(table)
+	if err != nil {
+		return nil, err
+	}
+	return ts.Clone(), nil
+}
+
 // ExtractSites rewrites the statement into its normalized predicate
 // form and extracts every indexable predicate site: for a predicate
 // [rel op lit] attached to step i of the normalized path, the site

@@ -53,6 +53,7 @@ import (
 	"xixa/internal/workload"
 	"xixa/internal/xindex"
 	"xixa/internal/xquery"
+	"xixa/internal/xstats"
 )
 
 // Errors returned by the admission and session layers.
@@ -372,6 +373,14 @@ func (s *Server) Capture() *workload.Capture { return s.capture }
 
 // Manager returns the online index lifecycle manager.
 func (s *Server) Manager() *xindex.Manager { return s.mgr }
+
+// TableStatsSnapshot returns an independently-owned statistics snapshot
+// for a table, safe to merge into a cross-server synopsis while this
+// server keeps serving writes. The sharded stats plane reads each
+// shard's tables through this hook.
+func (s *Server) TableStatsSnapshot(table string) (*xstats.TableStats, error) {
+	return s.opt.SnapshotTableStats(table)
+}
 
 // Session is one client's handle on the server, carrying per-session
 // execution statistics. Sessions are safe for concurrent use, though

@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"strconv"
+
+	"xixa/internal/obs"
+)
+
+// clusterMetrics is the router's observability bundle, registered in a
+// cluster-owned obs.Registry (each shard server keeps its own registry
+// underneath; the cluster's covers what only the router can see:
+// routing decisions, fan-out latency, and per-shard dispatch).
+type clusterMetrics struct {
+	reg *obs.Registry
+
+	// Routing decisions.
+	local     *obs.Counter // statements pinned to one shard (inserts included)
+	fanout    *obs.Counter // queries scatter-gathered across all shards
+	broadcast *obs.Counter // mutations broadcast to all shards
+
+	// Fan-out execution.
+	fanSeconds *obs.Histogram // wall time of one scatter-gather round
+	fanRejects *obs.Counter   // fail-fast rejects at the fan-out gate
+
+	// Per-shard dispatch, labeled {shard="i"}.
+	shardStmts   []*obs.Counter // statements the router sent to shard i
+	shardRejects []*obs.Counter // shard i admission rejects seen by the router
+
+	// Cluster tuner.
+	tunerRounds *obs.Counter
+	tunerBuilds *obs.Counter
+	tunerDrops  *obs.Counter
+}
+
+func newClusterMetrics(c *Cluster) *clusterMetrics {
+	reg := obs.NewRegistry()
+	m := &clusterMetrics{
+		reg:         reg,
+		local:       reg.Counter("xixa_router_local_total"),
+		fanout:      reg.Counter("xixa_router_fanout_total"),
+		broadcast:   reg.Counter("xixa_router_broadcast_total"),
+		fanSeconds:  reg.Histogram("xixa_router_fanout_seconds", obs.ExpBuckets(1e-6, 2, 24)),
+		fanRejects:  reg.Counter("xixa_router_overloaded_total"),
+		tunerRounds: reg.Counter("xixa_cluster_tune_rounds_total"),
+		tunerBuilds: reg.Counter("xixa_cluster_index_builds_total"),
+		tunerDrops:  reg.Counter("xixa_cluster_index_drops_total"),
+	}
+	reg.Gauge("xixa_cluster_shards").Set(int64(c.n))
+	for i := 0; i < c.n; i++ {
+		l := obs.L("shard", strconv.Itoa(i))
+		m.shardStmts = append(m.shardStmts, reg.Counter("xixa_shard_statements_total", l))
+		m.shardRejects = append(m.shardRejects, reg.Counter("xixa_shard_admission_rejects_total", l))
+	}
+	return m
+}
+
+// Metrics returns the cluster's metrics registry: routing counters,
+// per-shard dispatch/reject counters, fan-out latency, and tuner
+// activity. Per-shard engine metrics live in each shard server's own
+// registry (Shard(i).Metrics()).
+func (c *Cluster) Metrics() *obs.Registry { return c.met.reg }

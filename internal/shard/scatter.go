@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"sort"
+	"time"
+
+	"xixa/internal/server"
+	"xixa/internal/xindex"
+	"xixa/internal/xquery"
+)
+
+// scatter fans a statement out to every shard and gathers the partial
+// results. Admission is two-level: the cluster's fan-out gate bounds
+// concurrently scattering statements (fail-fast with ErrOverloaded,
+// like per-shard admission), and each shard's own queue still applies
+// to the per-shard legs.
+//
+// Gather merge: each shard emits query refs in ascending document-ID
+// order (scans visit documents in insertion order, which is ID order;
+// index probes sort candidate IDs), and cluster document IDs are
+// globally allocated — so a stable sort of the concatenated partials
+// by document ID reproduces exactly the sequence an unsharded engine
+// would have produced, per-document node order included.
+func (s *Session) scatter(stmt *xquery.Statement) (*server.Result, error) {
+	c := s.c
+	select {
+	case c.fanGate <- struct{}{}:
+	default:
+		c.met.fanRejects.Inc()
+		return nil, server.ErrOverloaded
+	}
+	defer func() { <-c.fanGate }()
+
+	if stmt.Kind == xquery.Query {
+		c.met.fanout.Inc()
+	} else {
+		c.met.broadcast.Inc()
+	}
+	start := time.Now()
+
+	results := make([]*server.Result, c.n)
+	errs := make([]error, c.n)
+	done := make(chan int, c.n)
+	for i := 0; i < c.n; i++ {
+		go func(i int) {
+			results[i], errs[i] = s.executeOn(i, stmt)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < c.n; i++ {
+		<-done
+	}
+	c.met.fanSeconds.Observe(time.Since(start).Seconds())
+
+	// First error in shard order, so a deterministic statement stream
+	// yields a deterministic error.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &server.Result{}
+	total := 0
+	for _, r := range results {
+		out.Stats.Add(r.Stats)
+		total += len(r.Refs)
+	}
+	if total > 0 {
+		out.Refs = make([]xindex.Ref, 0, total)
+		for _, r := range results {
+			out.Refs = append(out.Refs, r.Refs...)
+		}
+		sort.SliceStable(out.Refs, func(i, j int) bool {
+			return out.Refs[i].Doc < out.Refs[j].Doc
+		})
+	}
+	return out, nil
+}

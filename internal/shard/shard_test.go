@@ -1,0 +1,258 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"xixa/internal/server"
+	"xixa/internal/storage"
+	"xixa/internal/xindex"
+	"xixa/internal/xquery"
+)
+
+func testConfig(shards int) Config {
+	return Config{
+		Shards: shards,
+		Keys:   map[string]string{"SECURITY": "/Security/Symbol"},
+		Server: server.Config{BuildAfter: 1, DropAfter: 1},
+	}
+}
+
+func newTestCluster(t *testing.T, shards int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(testConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("SECURITY"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func insertSec(symbol, sector string, yield int) string {
+	return fmt.Sprintf(`insert into SECURITY value <Security><Symbol>%s</Symbol><Yield>%d</Yield><SecInfo><StockInformation><Sector>%s</Sector></StockInformation></SecInfo></Security>`,
+		symbol, yield, sector)
+}
+
+func pointQuery(symbol string) string {
+	return fmt.Sprintf(`for $s in SECURITY('SDOC')/Security where $s/Symbol = "%s" return $s`, symbol)
+}
+
+func sectorQuery(sector string) string {
+	return fmt.Sprintf(`for $s in SECURITY('SDOC')/Security where $s/SecInfo/StockInformation/Sector = "%s" return $s`, sector)
+}
+
+var sectors = []string{"Energy", "Tech", "Finance", "Retail"}
+
+func mustExec(t *testing.T, s *Session, raw string) *server.Result {
+	t.Helper()
+	res, err := s.Execute(raw)
+	if err != nil {
+		t.Fatalf("%s: %v", raw, err)
+	}
+	return res
+}
+
+// TestRoutingPinsKeyedStatements exercises the router's pin detection:
+// key-equality statements go to exactly one shard, everything else
+// scatters, and detection is conservative around wildcards.
+func TestRoutingPinsKeyedStatements(t *testing.T) {
+	c := newTestCluster(t, 4)
+
+	pin := func(raw string) (int, bool) {
+		return c.pinnedShard(xquery.MustParse(raw))
+	}
+
+	if _, ok := pin(pointQuery("SYM1")); !ok {
+		t.Error("key-equality point query did not pin")
+	}
+	if s1, _ := pin(pointQuery("SYM1")); true {
+		if s2, _ := pin(pointQuery("SYM1")); s1 != s2 {
+			t.Error("pinning is not deterministic")
+		}
+	}
+	if _, ok := pin(sectorQuery("Tech")); ok {
+		t.Error("non-key query pinned")
+	}
+	if _, ok := pin(`for $s in SECURITY('SDOC')/Security where $s/Yield = 3 return $s`); ok {
+		t.Error("numeric-equality query pinned (only string equality is hashable)")
+	}
+	if _, ok := pin(`delete from SECURITY where /Security[Symbol="SYM1"]`); !ok {
+		t.Error("key-equality delete did not pin")
+	}
+	if _, ok := pin(`update SECURITY set Yield = 9 where /Security[Symbol="SYM1"]`); !ok {
+		t.Error("key-equality update did not pin")
+	}
+	if _, ok := pin(`delete from SECURITY where /Security[Yield="3"]`); ok {
+		t.Error("non-key delete pinned")
+	}
+
+	// The same key value must pin queries to the shard inserts chose.
+	sess, err := c.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for i := 0; i < 32; i++ {
+		sym := fmt.Sprintf("SYM%03d", i)
+		mustExec(t, sess, insertSec(sym, sectors[i%4], i%9))
+		shard, ok := pin(pointQuery(sym))
+		if !ok {
+			t.Fatalf("%s: no pin", sym)
+		}
+		res := mustExec(t, sess, pointQuery(sym))
+		if len(res.Refs) != 1 {
+			t.Fatalf("%s: %d refs from pinned shard %d", sym, len(res.Refs), shard)
+		}
+	}
+}
+
+// TestScatterOnlyLatch: a document with no key node permanently
+// degrades the table to scatter — and queries still see everything.
+func TestScatterOnlyLatch(t *testing.T) {
+	c := newTestCluster(t, 3)
+	sess, err := c.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	for i := 0; i < 12; i++ {
+		mustExec(t, sess, insertSec(fmt.Sprintf("SYM%03d", i), sectors[i%4], i%9))
+	}
+	if c.route("SECURITY").scatterOnly.Load() {
+		t.Fatal("scatterOnly latched on keyed documents")
+	}
+	// A keyless document: the symbol no longer identifies one shard.
+	mustExec(t, sess, `insert into SECURITY value <Security><Name>anon</Name></Security>`)
+	if !c.route("SECURITY").scatterOnly.Load() {
+		t.Fatal("scatterOnly did not latch on a keyless document")
+	}
+	if _, ok := c.pinnedShard(xquery.MustParse(pointQuery("SYM001"))); ok {
+		t.Fatal("pin succeeded after scatter-only latch")
+	}
+	res := mustExec(t, sess, pointQuery("SYM001"))
+	if len(res.Refs) != 1 {
+		t.Fatalf("post-latch query refs = %d, want 1", len(res.Refs))
+	}
+}
+
+// streamScript is a deterministic mixed statement stream: loads, point
+// queries, scans, deletes, updates, then more queries. Every statement
+// kind crosses the router at least once.
+func streamScript(docs int) []string {
+	var out []string
+	for i := 0; i < docs; i++ {
+		out = append(out, insertSec(fmt.Sprintf("SYM%03d", i), sectors[i%4], i%9))
+	}
+	for i := 0; i < docs; i += 3 {
+		out = append(out, pointQuery(fmt.Sprintf("SYM%03d", i)))
+	}
+	for _, s := range sectors {
+		out = append(out, sectorQuery(s))
+	}
+	out = append(out,
+		`delete from SECURITY where /Security[Symbol="SYM004"]`,
+		fmt.Sprintf(`delete from SECURITY where /Security[SecInfo/StockInformation/Sector="%s"]`, "Retail"),
+		`update SECURITY set Yield = 42 where /Security[Symbol="SYM006"]`,
+		`update SECURITY set Yield = 7 where /Security[Yield="3"]`,
+	)
+	for i := 0; i < docs; i += 2 {
+		out = append(out, pointQuery(fmt.Sprintf("SYM%03d", i)))
+	}
+	for _, s := range sectors {
+		out = append(out, sectorQuery(s))
+	}
+	// Re-insert after deletes: IDs must continue from the same global
+	// sequence an unsharded table would use.
+	for i := 0; i < 6; i++ {
+		out = append(out, insertSec(fmt.Sprintf("NEW%03d", i), sectors[i%4], i))
+	}
+	out = append(out, sectorQuery("Tech"), pointQuery("NEW003"))
+	return out
+}
+
+func refsKey(refs []xindex.Ref) string {
+	var b []byte
+	for _, r := range refs {
+		b = fmt.Appendf(b, "%d:%d,", r.Doc, r.Node)
+	}
+	return string(b)
+}
+
+// TestClusterMatchesUnshardedBitIdentical is the subsystem's core
+// guarantee: the same statement stream through an unsharded server,
+// a one-shard cluster, and a multi-shard cluster yields bit-identical
+// results — document IDs, node IDs, and output ordering included —
+// with a tuning round in the middle of each run.
+func TestClusterMatchesUnshardedBitIdentical(t *testing.T) {
+	script := streamScript(45)
+	tuneAt := 60 // mid-stream statement index to tune after
+
+	type runner struct {
+		name string
+		exec func(string) (*server.Result, error)
+		tune func() error
+	}
+	var runs []runner
+
+	plain := server.New(fixtureDatabase(), server.Config{BuildAfter: 1, DropAfter: 1})
+	defer plain.Close()
+	psess, err := plain.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psess.Close()
+	runs = append(runs, runner{"unsharded", psess.Execute, func() error {
+		_, err := plain.TuneOnce()
+		return err
+	}})
+
+	for _, n := range []int{1, 3} {
+		c := newTestCluster(t, n)
+		sess, err := c.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		runs = append(runs, runner{fmt.Sprintf("cluster-%d", n), sess.Execute, func() error {
+			_, err := c.TuneOnce()
+			return err
+		}})
+	}
+
+	outputs := make([][]string, len(runs))
+	for ri, r := range runs {
+		for si, raw := range script {
+			res, err := r.exec(raw)
+			if err != nil {
+				t.Fatalf("%s stmt %d (%s): %v", r.name, si, raw, err)
+			}
+			outputs[ri] = append(outputs[ri], refsKey(res.Refs))
+			if si == tuneAt {
+				if err := r.tune(); err != nil {
+					t.Fatalf("%s tune: %v", r.name, err)
+				}
+			}
+		}
+	}
+	for ri := 1; ri < len(runs); ri++ {
+		for si := range script {
+			if outputs[ri][si] != outputs[0][si] {
+				t.Fatalf("%s diverged from unsharded at stmt %d (%s):\n got %s\nwant %s",
+					runs[ri].name, si, script[si], outputs[ri][si], outputs[0][si])
+			}
+		}
+	}
+}
+
+// fixtureDatabase is the unsharded oracle's empty database (the
+// cluster creates its tables through CreateTable; the oracle needs
+// the same table pre-created).
+func fixtureDatabase() *storage.Database {
+	db := storage.NewDatabase()
+	db.MustCreateTable("SECURITY")
+	return db
+}

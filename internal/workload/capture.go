@@ -34,6 +34,15 @@ type Capture struct {
 	order   []string // first-seen order, for deterministic output
 	seq     int64
 
+	// decays counts Decay rounds applied — the capture's decay epoch.
+	// Two rings decayed a different number of times hold weights in
+	// different units (each missed round leaves a ring's weights a
+	// factor heavier); Merge aligns epochs before summing so a shard
+	// that joined late, or tuned on a different cadence, doesn't skew
+	// the merged frequency mix toward its less-decayed ring.
+	decays      int64
+	decayFactor float64
+
 	// Cardinality feedback (cardinality.go) lives under its own mutex
 	// so per-plan-node observations never contend with statement
 	// observation on the query hot path.
@@ -106,10 +115,18 @@ func (c *Capture) evictLocked() {
 
 // Merge folds another capture into this one, summing weights per
 // normalized statement — the frequency-weighted merge the per-session
-// staging path uses. (The naive raw-keyed merge either duplicated the
-// statement per spelling or let the last session's entry win; summing
-// by normalized key is what makes multi-session capture equal a
-// single-session capture of the interleaved stream.)
+// staging path and the sharded stats plane use. (The naive raw-keyed
+// merge either duplicated the statement per spelling or let the last
+// session's entry win; summing by normalized key is what makes
+// multi-session capture equal a single-session capture of the
+// interleaved stream.)
+//
+// Captures at different decay epochs are aligned to the older (more
+// decayed) epoch first: the younger side's weights are scaled by
+// factor^(epoch difference) before summing, as if it had been present
+// for every missed round. Without this, merging a ring decayed 10
+// times with one decayed twice would let the younger ring's raw
+// weights dominate even when its true traffic rate is identical.
 func (c *Capture) Merge(other *Capture) {
 	other.mu.Lock()
 	type pair struct {
@@ -122,13 +139,52 @@ func (c *Capture) Merge(other *Capture) {
 		e := other.entries[key]
 		pairs = append(pairs, pair{key: key, stmt: e.stmt, weight: e.weight})
 	}
+	otherDecays, otherFactor := other.decays, other.decayFactor
 	other.mu.Unlock()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, p := range pairs {
-		c.observeLocked(p.key, p.stmt, p.weight)
+	scaleIn := 1.0
+	if d := c.decays - otherDecays; d > 0 {
+		// Incoming ring is younger: decay its weights the rounds it
+		// missed, under its own decay regime (falling back to ours if
+		// it never decayed and so never recorded a factor).
+		scaleIn = alignScale(otherFactor, c.decayFactor, d)
+	} else if d < 0 {
+		// Receiver is younger: catch our existing entries up to the
+		// incoming ring's epoch, then adopt it.
+		s := alignScale(c.decayFactor, otherFactor, -d)
+		for _, key := range c.order {
+			c.entries[key].weight *= s
+		}
+		c.decays = otherDecays
+		if c.decayFactor <= 0 || c.decayFactor >= 1 {
+			c.decayFactor = otherFactor
+		}
 	}
+	for _, p := range pairs {
+		c.observeLocked(p.key, p.stmt, p.weight*scaleIn)
+	}
+}
+
+// alignScale is the weight multiplier that advances a ring diff decay
+// epochs: factor^diff, preferring the ring's own recorded factor and
+// falling back to the peer's. A ring that has never decayed under a
+// valid factor merges unscaled (factor 1) — there is no regime to
+// extrapolate.
+func alignScale(factor, fallback float64, diff int64) float64 {
+	f := factor
+	if f <= 0 || f >= 1 {
+		f = fallback
+	}
+	if f <= 0 || f >= 1 {
+		return 1
+	}
+	s := 1.0
+	for ; diff > 0; diff-- {
+		s *= f
+	}
+	return s
 }
 
 // Decay multiplies every weight by factor in (0,1) and drops entries
@@ -152,6 +208,17 @@ func (c *Capture) Decay(factor, floor float64) {
 		live = append(live, key)
 	}
 	c.order = live
+	c.decays++
+	c.decayFactor = factor
+}
+
+// DecayEpoch reports how many Decay rounds have been applied. Merge
+// uses the epoch difference between two captures to bring their
+// weights into the same units before summing.
+func (c *Capture) DecayEpoch() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decays
 }
 
 // CaptureState is one entry of a capture's persistent form: the raw
@@ -219,9 +286,13 @@ func (c *Capture) Workload() *Workload {
 	return w
 }
 
-// Summarize reports the capture as a frequency-weighted Summary.
+// Summarize reports the capture as a frequency-weighted Summary,
+// stamped with the capture's decay epoch so downstream merges can see
+// whether the inputs were comparable.
 func (c *Capture) Summarize() Summary {
-	return c.Workload().SummarizeWeighted()
+	s := c.Workload().SummarizeWeighted()
+	s.DecayEpoch = c.DecayEpoch()
+	return s
 }
 
 // TopK returns the k heaviest captured statements with their rounded

@@ -15,6 +15,12 @@ type Summary struct {
 	TotalFreq int
 	ByKind    map[xquery.Kind]int
 	ByTable   map[string]int
+	// DecayEpoch is the decay epoch of the capture this summary was
+	// taken from (zero for summaries of plain workloads). Frequencies
+	// from different epochs are in different units; Capture.Merge
+	// aligns them, and a merged Summary carries the maximum epoch of
+	// its inputs as the unit the totals are expressed in.
+	DecayEpoch int64
 }
 
 // Summarize computes the workload summary.
@@ -75,9 +81,15 @@ func (w *Workload) SummarizeWeighted() Summary {
 // statement by its total frequency across sessions; the receiver maps
 // are allocated if nil. A summary carries no statement identities, so
 // the merged Unique is an upper bound: sessions that executed the same
-// normalized statement each contribute to it. For exact uniques, merge
-// the Workloads (or Captures) and summarize the result.
+// normalized statement each contribute to it. For exact uniques — and
+// for decay-epoch-aligned frequencies when the inputs were decayed a
+// different number of times — merge the Captures and summarize the
+// result; a Summary holds only totals, so this method can record the
+// maximum input epoch but cannot rescale what was already summed.
 func (s *Summary) Merge(other Summary) {
+	if other.DecayEpoch > s.DecayEpoch {
+		s.DecayEpoch = other.DecayEpoch
+	}
 	if s.ByKind == nil {
 		s.ByKind = make(map[xquery.Kind]int)
 	}

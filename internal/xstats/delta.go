@@ -125,6 +125,59 @@ func (d *Delta) Merge(other *Delta) error {
 	return nil
 }
 
+// Clone returns a deep copy of the delta: same dictionary, independent
+// accumulators. Folding into either copy leaves the other untouched,
+// which is what lets a shard hand its retained store across a merge
+// boundary while its keeper keeps mutating the original.
+func (d *Delta) Clone() *Delta {
+	out := &Delta{dict: d.dict, docs: d.docs, nodes: d.nodes}
+	out.accs = make([]*valueAcc, len(d.accs))
+	out.touched = make([]xmltree.PathID, len(d.touched))
+	copy(out.touched, d.touched)
+	for _, pid := range d.touched {
+		src := d.accs[pid]
+		dst := &valueAcc{
+			count: src.count,
+			bytes: src.bytes,
+			nan:   src.nan,
+			strs:  make(map[string]*int64, len(src.strs)),
+			nums:  make(map[float64]int64, len(src.nums)),
+		}
+		for s, p := range src.strs {
+			v := *p
+			dst.strs[s] = &v
+		}
+		for v, c := range src.nums {
+			dst.nums[v] = c
+		}
+		out.accs[pid] = dst
+	}
+	return out
+}
+
+// Rebase translates the delta onto another path dictionary, re-interning
+// each touched path's root-to-node label chain. Two tables holding
+// disjoint shards of the same logical table intern paths in arrival
+// order, so the same rooted path can carry different PathIDs on
+// different shards; rebasing is what makes their statistics combinable.
+// The receiver is left untouched; the result is always an independent
+// copy (rebasing onto the delta's own dictionary degenerates to Clone).
+func (d *Delta) Rebase(dict *xmltree.PathDict) *Delta {
+	if dict == d.dict {
+		return d.Clone()
+	}
+	out := NewDelta(dict)
+	out.docs, out.nodes = d.docs, d.nodes
+	for _, pid := range d.touched {
+		np := xmltree.NoPath
+		for _, label := range d.dict.Labels(pid) {
+			np = dict.Intern(np, label)
+		}
+		d.accs[pid].foldInto(out.ensure(np))
+	}
+	return out
+}
+
 // ensure returns the accumulator of a path, creating and registering it
 // on first touch.
 func (d *Delta) ensure(pid xmltree.PathID) *valueAcc {
@@ -407,15 +460,35 @@ func (ts *TableStats) ApplyDelta(d *Delta, version int64) (*TableStats, error) {
 	return out, nil
 }
 
-// Merge folds another mergeable TableStats over the same dictionary
-// into this one and returns the combined snapshot at the given version
-// — the combinator for collecting disjoint document subsets separately
-// (e.g. in parallel) and unifying them. The other statistics remain
+// Merge folds another mergeable TableStats into this one and returns
+// the combined snapshot at the given version — the combinator for
+// collecting disjoint document subsets separately (e.g. in parallel, or
+// one per shard) and unifying them. Statistics over a different path
+// dictionary are rebased onto the receiver's first, so per-shard tables
+// — each of which interns paths in its own arrival order — merge by
+// rooted label path, not by raw PathID. The other statistics remain
 // readable; the receiver follows the same newest-snapshot discipline as
 // ApplyDelta.
 func (ts *TableStats) Merge(other *TableStats, version int64) (*TableStats, error) {
 	if other.acc == nil {
 		return nil, fmt.Errorf("xstats: statistics for %q were not collected in mergeable form", other.Table)
 	}
-	return ts.ApplyDelta(other.acc, version)
+	src := other.acc
+	if ts.acc != nil && src.dict != ts.dict {
+		src = src.Rebase(ts.dict)
+	}
+	return ts.ApplyDelta(src, version)
+}
+
+// Clone returns a snapshot whose mergeable store is independent of the
+// receiver's, safe to Merge into another synopsis while the original's
+// owner (e.g. a keeper) keeps folding deltas into it. Statistics
+// without a store are immutable already and are returned as-is. Callers
+// holding keeper-built snapshots should clone through Keeper.CloneStats
+// instead, which serializes against the keeper's own folds.
+func (ts *TableStats) Clone() *TableStats {
+	if ts.acc == nil {
+		return ts
+	}
+	return FromDelta(ts.Table, ts.Version, ts.acc.Clone())
 }

@@ -77,6 +77,10 @@ func (k *Keeper) Stats() *TableStats {
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	return k.statsLocked()
+}
+
+func (k *Keeper) statsLocked() *TableStats {
 	version := k.version.Load()
 	snap := k.snap.Load()
 	if snap.Version != version {
@@ -93,6 +97,21 @@ func (k *Keeper) Stats() *TableStats {
 		snap = ns
 	}
 	return snap
+}
+
+// CloneStats returns a deep copy of the current statistics with an
+// independent mergeable store. Snapshots returned by Stats share the
+// keeper's retained store, which the keeper mutates on every later
+// fold — safe for readers, but not for TableStats.Merge, which reads
+// the store's accumulators outside the keeper's lock. Cross-table (and
+// cross-shard) merges must start from CloneStats; the copy is made
+// under the keeper's mutex, so it is a consistent cut even while the
+// table keeps mutating.
+func (k *Keeper) CloneStats() *TableStats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	snap := k.statsLocked()
+	return FromDelta(snap.Table, snap.Version, snap.acc.Clone())
 }
 
 // Version returns the table version the keeper has observed (which the
@@ -147,4 +166,15 @@ func (ks *KeeperSet) TableStats(table string) (*TableStats, error) {
 		return nil, err
 	}
 	return k.Stats(), nil
+}
+
+// CloneTableStats returns an independently-owned copy of the table's
+// statistics, safe to Merge across dictionaries while the keeper keeps
+// maintaining the original (see Keeper.CloneStats).
+func (ks *KeeperSet) CloneTableStats(table string) (*TableStats, error) {
+	k, err := ks.Keeper(table)
+	if err != nil {
+		return nil, err
+	}
+	return k.CloneStats(), nil
 }
