@@ -2,6 +2,7 @@ package shard
 
 import (
 	"hash/fnv"
+	"strings"
 
 	"xixa/internal/xpath"
 	"xixa/internal/xquery"
@@ -46,7 +47,11 @@ func (rt *tableRoute) insertShard(stmt *xquery.Statement, n int) int {
 	if rt.keyed && !rt.scatterOnly.Load() && stmt.Doc != nil {
 		nodes := xpath.Eval(stmt.Doc, rt.key)
 		if len(nodes) == 1 {
-			return int(hashString(stmt.Doc.TextOf(nodes[0])) % uint64(n))
+			// Trim exactly as engine equality does (CompareNodeValue
+			// compares TrimSpace'd node text against the literal), so a
+			// whitespace-padded key lands on the shard its equality pins
+			// route to.
+			return int(hashString(strings.TrimSpace(stmt.Doc.TextOf(nodes[0]))) % uint64(n))
 		}
 		rt.scatterOnly.Store(true)
 	}
@@ -108,6 +113,21 @@ func (c *Cluster) pinnedShard(stmt *xquery.Statement) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// updateMayTargetKey reports whether an update can rewrite the table's
+// partition-key leaf. The engine resolves the leaves it rewrites by
+// evaluating Concat(Match.StripPreds(), SetPath) over each matched
+// document (engine.runUpdate), so the same chain decides reachability
+// here: the key path is an exact linear chain, so Contains(chain, key)
+// holds iff the chain can resolve to the key's rooted label path.
+// Predicates are stripped from both halves — they only narrow the
+// target set — making the answer a conservative superset: a false
+// positive merely forfeits the single-shard fast path, never
+// correctness.
+func (rt *tableRoute) updateMayTargetKey(stmt *xquery.Statement) bool {
+	chain := xpath.Concat(stmt.Match.StripPreds(), stmt.SetPath.StripPreds())
+	return xpath.Contains(chain, rt.key)
 }
 
 func labelsEqual(a, b []string) bool {

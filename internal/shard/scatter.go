@@ -13,7 +13,12 @@ import (
 // results. Admission is two-level: the cluster's fan-out gate bounds
 // concurrently scattering statements (fail-fast with ErrOverloaded,
 // like per-shard admission), and each shard's own queue still applies
-// to the per-shard legs.
+// to the per-shard legs — fail-fast for query legs, retried for DML
+// legs so admission pressure cannot leave a broadcast mutation
+// partially applied. A non-admission error on one leg can still leave
+// sibling legs committed (per-shard transactions do not span shards);
+// the first error is reported so the caller knows the broadcast did
+// not complete.
 //
 // Gather merge: each shard emits query refs in ascending document-ID
 // order (scans visit documents in insertion order, which is ID order;
@@ -41,9 +46,26 @@ func (s *Session) scatter(stmt *xquery.Statement) (*server.Result, error) {
 	results := make([]*server.Result, c.n)
 	errs := make([]error, c.n)
 	done := make(chan int, c.n)
+	dml := stmt.Kind == xquery.Delete || stmt.Kind == xquery.Update
 	for i := 0; i < c.n; i++ {
 		go func(i int) {
-			results[i], errs[i] = s.executeOn(i, stmt)
+			res, err := s.executeOn(i, stmt)
+			// A broadcast mutation must not be torn by admission: each
+			// leg is an independent per-shard transaction, so failing
+			// fast on one shard's queue while sibling legs committed
+			// would leave the DML partially applied — a state no
+			// unsharded execution can produce. The cluster fan gate
+			// already bounds scatter load, so DML legs wait out
+			// per-shard queue pressure instead. (Query legs stay
+			// fail-fast: a rejected read is harmless.)
+			for wait := 100 * time.Microsecond; dml && err == server.ErrOverloaded; wait *= 2 {
+				if wait > 10*time.Millisecond {
+					wait = 10 * time.Millisecond
+				}
+				time.Sleep(wait)
+				res, err = s.executeOn(i, stmt)
+			}
+			results[i], errs[i] = res, err
 			done <- i
 		}(i)
 	}

@@ -13,8 +13,10 @@
 // string equality executes on that one shard; everything else fans out
 // to every shard. A statement the router fails to recognize as
 // single-shard merely degrades to scatter — it never produces a wrong
-// answer — and a table whose documents stop carrying exactly one key
-// node permanently falls back to scatter for that table.
+// answer — and a table whose key stops identifying one shard (a
+// document arrives without exactly one key node, or an update can
+// rewrite the key leaf itself, stranding the document on its old
+// value's shard) permanently falls back to scatter for that table.
 //
 // The ordering guarantee: a cluster produces bit-identical results to
 // an unsharded engine fed the same statement stream. Document IDs are
@@ -121,11 +123,12 @@ type tableRoute struct {
 	nextID atomic.Int64 // next global document ID for this table
 	insMu  []sync.Mutex // per-shard: serializes SetNextID with commit
 
-	// scatterOnly latches when a document arrives with a key-node
-	// count other than one: equality routing is unsound from then on
-	// (the key no longer identifies one shard), so the table
-	// permanently degrades to scatter. Routing stays correct either
-	// way; this only gives up the single-shard fast path.
+	// scatterOnly latches when equality routing becomes unsound: a
+	// document arrives with a key-node count other than one (the key
+	// no longer identifies one shard), or an update may rewrite the
+	// key leaf itself (the document keeps its old-value placement).
+	// The table permanently degrades to scatter. Routing stays correct
+	// either way; this only gives up the single-shard fast path.
 	scatterOnly atomic.Bool
 }
 
@@ -198,8 +201,15 @@ func (c *Cluster) CreateTable(name string) error {
 	if _, ok := c.tables[name]; ok {
 		return fmt.Errorf("shard: table %s already exists", name)
 	}
-	for _, db := range c.dbs {
+	for i, db := range c.dbs {
 		if _, err := db.CreateTable(name); err != nil {
+			// Roll back the shards already created: leaving them would
+			// make every retry die on shard 0's "already exists" while
+			// the route never registers — the table would be
+			// permanently uncreatable.
+			for _, prev := range c.dbs[:i] {
+				prev.DropTable(name)
+			}
 			return err
 		}
 	}
@@ -285,6 +295,18 @@ func (s *Session) ExecuteStmt(stmt *xquery.Statement) (*server.Result, error) {
 	}
 	if stmt.Kind == xquery.Insert {
 		return s.executeInsert(stmt)
+	}
+	if stmt.Kind == xquery.Update && c.n > 1 {
+		// An update can rewrite the partition-key leaf itself (set
+		// Symbol = "BBB" under a match on the old value). The document
+		// stays on the old value's shard, so equality routing by the
+		// new value would silently miss it; latch scatter-only BEFORE
+		// dispatch so this statement and every later one sees all
+		// shards.
+		if rt := c.route(stmt.Table); rt != nil && rt.keyed &&
+			!rt.scatterOnly.Load() && rt.updateMayTargetKey(stmt) {
+			rt.scatterOnly.Store(true)
+		}
 	}
 	if shard, ok := c.pinnedShard(stmt); ok {
 		c.met.local.Inc()

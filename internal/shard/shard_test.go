@@ -139,6 +139,134 @@ func TestScatterOnlyLatch(t *testing.T) {
 	}
 }
 
+// TestUpdateRewritingPartitionKey: an update can retarget the
+// partition-key leaf itself (engine.runUpdate applies SetPath under
+// Match), leaving the document placed by its old key value. The router
+// must latch scatter-only before dispatch, or statements pinning the
+// new value would route to the wrong shard and silently miss the
+// document — a wrong answer an unsharded engine never produces.
+func TestUpdateRewritingPartitionKey(t *testing.T) {
+	c := newTestCluster(t, 4)
+	rt := c.route("SECURITY")
+	may := func(raw string) bool { return rt.updateMayTargetKey(xquery.MustParse(raw)) }
+	if may(`update SECURITY set Yield = 9 where /Security[Symbol="SYM001"]`) {
+		t.Error("non-key update flagged as key-targeting")
+	}
+	if !may(`update SECURITY set Symbol = "NEW" where /Security[Symbol="SYM001"]`) {
+		t.Error("key-leaf update not flagged")
+	}
+	if !may(`update SECURITY set * = "NEW" where /Security[Yield="3"]`) {
+		t.Error("wildcard set path can resolve to the key; not flagged")
+	}
+
+	// End to end against the unsharded oracle, crossing the rewrite.
+	plain := server.New(fixtureDatabase(), server.Config{BuildAfter: 1, DropAfter: 1})
+	defer plain.Close()
+	psess, err := plain.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psess.Close()
+	sess, err := c.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	step := func(raw string) {
+		t.Helper()
+		pres, perr := psess.Execute(raw)
+		cres, cerr := sess.Execute(raw)
+		if perr != nil || cerr != nil {
+			t.Fatalf("%s: unsharded err %v, cluster err %v", raw, perr, cerr)
+		}
+		if refsKey(cres.Refs) != refsKey(pres.Refs) {
+			t.Fatalf("%s: cluster %s, unsharded %s", raw, refsKey(cres.Refs), refsKey(pres.Refs))
+		}
+	}
+	for i := 0; i < 16; i++ {
+		step(insertSec(fmt.Sprintf("SYM%03d", i), sectors[i%4], i%9))
+	}
+	step(`update SECURITY set Yield = 9 where /Security[Symbol="SYM003"]`)
+	if rt.scatterOnly.Load() {
+		t.Fatal("non-key update latched scatter-only")
+	}
+	step(`update SECURITY set Symbol = "RENAMED" where /Security[Symbol="SYM005"]`)
+	if !rt.scatterOnly.Load() {
+		t.Fatal("key-rewriting update did not latch scatter-only")
+	}
+	if res := mustExec(t, sess, pointQuery("RENAMED")); len(res.Refs) != 1 {
+		t.Fatalf("query by rewritten key value found %d refs, want 1", len(res.Refs))
+	}
+	step(pointQuery("RENAMED"))
+	step(pointQuery("SYM005"))
+	step(`delete from SECURITY where /Security[Symbol="RENAMED"]`)
+	step(pointQuery("RENAMED"))
+	step(sectorQuery("Tech"))
+}
+
+// TestWhitespacePaddedKeyPlacement: engine equality compares
+// TrimSpace'd node text against the literal, so placement must hash
+// the trimmed key value — a pretty-printed <Symbol> PAD007 </Symbol>
+// has to land on the shard that [Symbol="PAD007"] pins to.
+func TestWhitespacePaddedKeyPlacement(t *testing.T) {
+	c := newTestCluster(t, 4)
+	sess, err := c.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for i := 0; i < 16; i++ {
+		sym := fmt.Sprintf("PAD%03d", i)
+		mustExec(t, sess, fmt.Sprintf(
+			`insert into SECURITY value <Security><Symbol> %s </Symbol><Yield>%d</Yield></Security>`, sym, i))
+		if res := mustExec(t, sess, pointQuery(sym)); len(res.Refs) != 1 {
+			t.Fatalf("%s: pinned query found %d refs for padded key, want 1", sym, len(res.Refs))
+		}
+	}
+	mustExec(t, sess, `delete from SECURITY where /Security[Symbol="PAD007"]`)
+	if res := mustExec(t, sess, pointQuery("PAD007")); len(res.Refs) != 0 {
+		t.Fatal("pinned delete missed the padded-key document")
+	}
+}
+
+// TestCreateTableRollback: a cluster create that fails on shard k must
+// not leave shards 0..k-1 holding the table — that residue would make
+// every retry die on shard 0's "already exists" while the route never
+// registers, leaving the table permanently uncreatable.
+func TestCreateTableRollback(t *testing.T) {
+	c, err := NewCluster(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	// Escape-hatch residue: shard 2 already holds the table.
+	c.dbs[2].MustCreateTable("SECURITY")
+	if err := c.CreateTable("SECURITY"); err == nil {
+		t.Fatal("create succeeded despite a shard-local conflict")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.dbs[i].Table("SECURITY"); err == nil {
+			t.Fatalf("shard %d kept the table after a failed create", i)
+		}
+	}
+	// Clearing the conflict makes the retry succeed end to end.
+	if err := c.dbs[2].DropTable("SECURITY"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable("SECURITY"); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	sess, err := c.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	mustExec(t, sess, insertSec("SYM001", "Tech", 3))
+	if res := mustExec(t, sess, pointQuery("SYM001")); len(res.Refs) != 1 {
+		t.Fatalf("post-retry query refs = %d, want 1", len(res.Refs))
+	}
+}
+
 // streamScript is a deterministic mixed statement stream: loads, point
 // queries, scans, deletes, updates, then more queries. Every statement
 // kind crosses the router at least once.

@@ -543,6 +543,21 @@ func (db *Database) CreateTable(name string) (*Table, error) {
 	return t, nil
 }
 
+// DropTable removes a table from the catalog. It fails if the name is
+// unknown. Snapshots already holding the *Table keep reading it (the
+// table's version chains are untouched); the name just stops
+// resolving. The shard router uses it to roll back a cluster-wide
+// create that failed partway.
+func (db *Database) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("storage: no such table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
 // MustCreateTable is CreateTable that panics on error.
 func (db *Database) MustCreateTable(name string) *Table {
 	t, err := db.CreateTable(name)
